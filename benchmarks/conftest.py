@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures and prints
+it; pytest-benchmark records the wall-clock cost.  Corpora and the
+expensive four-model accuracy runs are shared through the process-wide
+experiment context, so the suite pays for each training once.
+
+Scale with REPRO_SCALE (smoke / default / full); results land on stdout
+and, when REPRO_RESULTS_DIR is set, as JSON files.
+"""
+
+import pytest
+
+from repro.experiments import global_context
+
+
+@pytest.fixture(scope="session")
+def context():
+    ctx = global_context()
+    print(f"\n[repro] benchmark scale preset: {ctx.scale.name}")
+    return ctx
+
+
+def run_and_print(experiment_id, context):
+    from repro.experiments import run
+    from repro.experiments.reporting import print_report
+
+    report = run(experiment_id, context)
+    print_report(report)
+    return report

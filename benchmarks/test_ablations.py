@@ -1,0 +1,13 @@
+"""Benchmark: extension studies (optimizer / data vector / cardinality)."""
+
+from conftest import run_and_print
+
+
+def test_extension_ablations(benchmark, context):
+    report = benchmark.pedantic(
+        lambda: run_and_print("ablations", context), rounds=1, iterations=1
+    )
+    studies = {r["study"] for r in report.rows}
+    assert studies == {"optimizer", "data_vector", "cardinality_injection"}
+    for row in report.rows:
+        assert row["test_rel_err_pct"] > 0

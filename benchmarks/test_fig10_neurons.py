@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 10 (neurons-per-layer sweep)."""
+
+from conftest import run_and_print
+
+
+def test_fig10_neuron_sweep(benchmark, context):
+    report = benchmark.pedantic(
+        lambda: run_and_print("fig10", context), rounds=1, iterations=1
+    )
+    rows = {r["setting"]: r for r in report.rows}
+    assert set(rows) == {"8", "16", "32", "64", "128", "256"}
+    # Paper shape: the widest network trains slower than the narrowest.
+    assert rows["256"]["train_time_s"] > rows["8"]["train_time_s"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 11 (hidden-layer-count sweep)."""
+
+from conftest import run_and_print
+
+
+def test_fig11_layer_sweep(benchmark, context):
+    report = benchmark.pedantic(
+        lambda: run_and_print("fig11", context), rounds=1, iterations=1
+    )
+    rows = {r["setting"]: r for r in report.rows}
+    assert set(rows) == {"1", "2", "3", "4", "5", "6"}
+    # Deeper networks cost more training time.
+    assert rows["6"]["train_time_s"] > rows["1"]["train_time_s"]

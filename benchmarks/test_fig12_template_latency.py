@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 12 (mean latency per TPC-DS template)."""
+
+from conftest import run_and_print
+
+
+def test_fig12_template_latencies(benchmark, context):
+    report = benchmark.pedantic(
+        lambda: run_and_print("fig12", context), rounds=1, iterations=1
+    )
+    assert len(report.rows) == 70
+    means = [r["mean_latency_s"] for r in report.rows]
+    # Figure 12 uses a log axis: the template means must span a wide range.
+    assert max(means) / max(1e-9, min(means)) > 10

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 9a (training-optimization ablation)."""
+
+from conftest import run_and_print
+
+
+def test_fig9a_training_optimizations(benchmark, context):
+    report = benchmark.pedantic(
+        lambda: run_and_print("fig9a", context), rounds=1, iterations=1
+    )
+    assert len(report.rows) == 8
+    for workload in ("TPC-H", "TPC-DS"):
+        rows = {r["optimizations"]: r for r in report.rows if r["workload"] == workload}
+        # Both optimizations together must beat no optimizations, and each
+        # single optimization must also beat the naive baseline.
+        assert rows["Both"]["train_time_s"] < rows["None"]["train_time_s"]
+        assert rows["Shared info"]["train_time_s"] < rows["None"]["train_time_s"]
+        assert rows["Batching"]["train_time_s"] < rows["None"]["train_time_s"]

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figures 9b/9c (training convergence curves)."""
+
+from conftest import run_and_print
+
+
+def test_fig9bc_convergence(benchmark, context):
+    report = benchmark.pedantic(
+        lambda: run_and_print("fig9bc", context), rounds=1, iterations=1
+    )
+    for figure in ("9b", "9c"):
+        curve = [r["qpp_mae_s"] for r in report.rows if r["figure"] == figure]
+        assert curve, f"no convergence points for {figure}"
+        # Inverse-exponential shape: the end of training is better than
+        # the start.
+        assert curve[-1] < curve[0]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Tables 1a/1b (error-factor buckets)."""
+
+from conftest import run_and_print
+
+
+def test_table1_error_buckets(benchmark, context):
+    report = benchmark.pedantic(
+        lambda: run_and_print("table1", context), rounds=1, iterations=1
+    )
+    assert len(report.rows) == 8
+    for row in report.rows:
+        total = row["R<=1.5_pct"] + row["1.5<R<2_pct"] + row["R>=2_pct"]
+        assert 98 <= total <= 102

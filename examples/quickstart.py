@@ -1,0 +1,58 @@
+"""Quickstart: train QPP Net on simulated TPC-H and predict latencies.
+
+Walks the full pipeline end to end:
+
+1. build a TPC-H "database" (catalog + statistics) and its workload;
+2. collect a corpus of executed plans (our EXPLAIN ANALYZE);
+3. fit the Appendix-B featurizer and train a plan-structured network;
+4. predict latencies for unseen queries and score the predictions.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import QPPNet, QPPNetConfig, Trainer
+from repro.evaluation import r_buckets, relative_error
+from repro.featurize import Featurizer
+from repro.plans import explain_text
+from repro.workload import Workbench, random_split
+
+
+def main() -> None:
+    # 1. A TPC-H instance: schema, planner, execution simulator.
+    workbench = Workbench("tpch", scale_factor=1.0, seed=0)
+    print(f"schema: {len(workbench.schema)} tables, "
+          f"{workbench.schema.total_rows():,} rows")
+
+    # 2. Execute queries and record EXPLAIN ANALYZE output.
+    corpus = workbench.generate(300, rng=np.random.default_rng(42))
+    dataset = random_split(corpus, test_fraction=0.1, rng=np.random.default_rng(1))
+    print(f"corpus: {len(corpus)} executed queries "
+          f"({dataset.n_train} train / {dataset.n_test} test)")
+
+    sample = dataset.test[0]
+    print("\nOne executed plan (query", sample.template_id + "):")
+    print(explain_text(sample.plan, analyze=True))
+
+    # 3. Featurize (Table 2) and train the plan-structured network.
+    featurizer = Featurizer().fit([s.plan for s in dataset.train])
+    config = QPPNetConfig(epochs=40, batch_size=64)
+    model = QPPNet(featurizer, config)
+    print(f"\nQPP Net: {len(model.units)} neural units, "
+          f"{model.num_parameters():,} parameters")
+    Trainer(model, config).fit(dataset.train, verbose=False)
+
+    # 4. Predict and score.
+    actual = np.array([s.latency_ms for s in dataset.test])
+    predicted = np.array([model.predict(s.plan) for s in dataset.test])
+    rel = relative_error(actual, predicted)
+    buckets = r_buckets(actual, predicted)
+    print(f"\ntest relative error: {100 * rel:.1f}%")
+    print(f"within 1.5x of truth: {100 * buckets.within_1_5:.0f}% of queries")
+    print(f"\nexample: predicted {predicted[0] / 1000:.2f}s, "
+          f"actual {actual[0] / 1000:.2f}s for {dataset.test[0].template_id}")
+
+
+if __name__ == "__main__":
+    main()

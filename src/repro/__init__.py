@@ -1,0 +1,21 @@
+"""Reproduction of *Plan-Structured Deep Neural Network Models for Query
+Performance Prediction* (Marcus & Papaemmanouil, VLDB 2019).
+
+Public API quick map
+--------------------
+``repro.nn``          numpy autodiff / neural-network substrate
+``repro.catalog``     schemas + statistics (TPC-H, TPC-DS)
+``repro.plans``       query execution plan trees, EXPLAIN rendering
+``repro.optimizer``   cost-based planner with estimated cardinalities
+``repro.engine``      execution simulator (ground-truth latencies)
+``repro.workload``    query templates, corpus generation, splits
+``repro.featurize``   Appendix-B feature encoding
+``repro.core``        QPP Net: neural units, plan-structured model, trainer
+``repro.baselines``   SVM / RBF / TAM comparison models
+``repro.evaluation``  metrics (relative error, MAE, R) + harness
+``repro.experiments`` one module per paper table/figure
+
+See ``examples/quickstart.py`` for an end-to-end walkthrough.
+"""
+
+__version__ = "1.0.0"

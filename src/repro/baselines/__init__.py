@@ -1,0 +1,37 @@
+"""Comparison models from the paper's evaluation: SVM, RBF, TAM."""
+
+from .common import (
+    OPERATOR_FEATURE_NAMES,
+    RESOURCE_NAMES,
+    LatencyPredictor,
+    operator_dataset,
+    operator_features,
+    plan_features,
+    predict_hierarchical,
+    resource_counts,
+    self_cost,
+)
+from .gbrt import MART, RegressionTree
+from .rbf import RBFPredictor, resource_features
+from .svm import SVMPredictor
+from .svr import LinearSVR
+from .tam import TAMPredictor
+
+__all__ = [
+    "LatencyPredictor",
+    "operator_features",
+    "OPERATOR_FEATURE_NAMES",
+    "plan_features",
+    "operator_dataset",
+    "predict_hierarchical",
+    "resource_counts",
+    "RESOURCE_NAMES",
+    "self_cost",
+    "LinearSVR",
+    "SVMPredictor",
+    "RegressionTree",
+    "MART",
+    "RBFPredictor",
+    "resource_features",
+    "TAMPredictor",
+]

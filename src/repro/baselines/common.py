@@ -1,0 +1,159 @@
+"""Shared infrastructure for the three baseline predictors (§6).
+
+All baselines consume *hand-picked* features built from optimizer
+estimates — exactly the methodological difference the paper stresses:
+the comparison systems (Akdere et al.'s SVM models, Li et al.'s
+resource-based MART models, Hacigumus et al.'s calibrated cost model)
+rely on human-selected features of the optimizer's output, whereas
+QPP Net additionally sees raw catalog identities (relation names,
+attribute statistics) and *learns* what matters.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.plans.node import PlanNode
+from repro.plans.operators import LogicalType, PhysicalOp
+from repro.workload.generator import PlanSample
+
+
+@runtime_checkable
+class LatencyPredictor(Protocol):
+    """Interface every model in the evaluation implements."""
+
+    name: str
+
+    def fit(self, samples: Sequence[PlanSample]) -> "LatencyPredictor": ...
+
+    def predict(self, plan: PlanNode) -> float: ...
+
+
+def self_cost(node: PlanNode) -> float:
+    """Estimated non-cumulative cost of a node (Total Cost minus children)."""
+    total = float(node.props.get("Total Cost", 0.0))
+    children = sum(float(c.props.get("Total Cost", 0.0)) for c in node.children)
+    return max(0.0, total - children)
+
+
+def operator_features(node: PlanNode) -> np.ndarray:
+    """Hand-picked per-operator features (optimizer estimates only)."""
+    return np.array(
+        [
+            np.log1p(float(node.props.get("Plan Rows", 0.0))),
+            np.log1p(float(node.props.get("Plan Width", 0.0))),
+            np.log1p(self_cost(node)),
+            np.log1p(float(node.props.get("Total Cost", 0.0))),
+            np.log1p(float(node.props.get("Estimated I/Os", 0.0))),
+            np.log1p(float(node.props.get("Plan Buffers", 0.0))),
+            float(len(node.children)),
+            np.log1p(sum(float(c.props.get("Plan Rows", 0.0)) for c in node.children)),
+        ]
+    )
+
+
+OPERATOR_FEATURE_NAMES = (
+    "log_rows",
+    "log_width",
+    "log_self_cost",
+    "log_total_cost",
+    "log_est_ios",
+    "log_buffers",
+    "n_children",
+    "log_child_rows",
+)
+
+
+def plan_features(root: PlanNode) -> np.ndarray:
+    """Hand-picked plan-level features (for plan-level fallback models)."""
+    nodes = list(root.preorder())
+    type_counts = {lt: 0.0 for lt in LogicalType}
+    total_io = 0.0
+    total_rows = 0.0
+    for node in nodes:
+        type_counts[node.logical_type] += 1.0
+        total_io += float(node.props.get("Estimated I/Os", 0.0))
+        total_rows += float(node.props.get("Plan Rows", 0.0))
+    base = [
+        np.log1p(float(root.props.get("Total Cost", 0.0))),
+        np.log1p(float(root.props.get("Plan Rows", 0.0))),
+        float(len(nodes)),
+        float(root.depth()),
+        np.log1p(total_io),
+        np.log1p(total_rows),
+    ]
+    base.extend(type_counts[lt] for lt in LogicalType)
+    return np.array(base)
+
+
+def operator_dataset(
+    samples: Sequence[PlanSample],
+) -> dict[LogicalType, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Per-type training matrices for hierarchical operator models.
+
+    Returns ``{type: (X, child_latency_sum, y)}`` where ``y`` is each
+    operator's actual (cumulative) latency in ms and
+    ``child_latency_sum`` the summed actual latencies of its children —
+    the composition input used with teacher forcing at training time.
+    """
+    buckets: dict[LogicalType, list[tuple[np.ndarray, float, float]]] = {}
+    for sample in samples:
+        for node in sample.plan.preorder():
+            if node.actual_total_ms is None:
+                raise ValueError("operator_dataset requires analyzed plans")
+            child_sum = sum(c.actual_total_ms or 0.0 for c in node.children)
+            buckets.setdefault(node.logical_type, []).append(
+                (operator_features(node), child_sum, node.actual_total_ms)
+            )
+    out: dict[LogicalType, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+    for ltype, rows in buckets.items():
+        X = np.vstack([r[0] for r in rows])
+        child = np.array([r[1] for r in rows])
+        y = np.array([r[2] for r in rows])
+        out[ltype] = (X, child, y)
+    return out
+
+
+def predict_hierarchical(
+    plan: PlanNode,
+    predict_node,  # (ltype, features, child_pred_sum) -> self+children ms
+    floor_ms: float = 0.01,
+) -> float:
+    """Bottom-up composition at inference time (predicted child latencies)."""
+    memo: dict[int, float] = {}
+    for node in plan.postorder():
+        child_sum = sum(memo[id(c)] for c in node.children)
+        pred = predict_node(node.logical_type, operator_features(node), child_sum)
+        memo[id(node)] = max(floor_ms, float(pred))
+    return memo[id(plan)]
+
+
+def resource_counts(root: PlanNode) -> np.ndarray:
+    """Estimated resource-unit counts for the calibrated cost model (TAM).
+
+    The five PostgreSQL cost units: sequential pages, random pages, tuples
+    processed, index tuples, operator evaluations — all derived from
+    optimizer estimates, as in Hacigumus et al.
+    """
+    seq_pages = rand_pages = tuples = index_tuples = op_evals = 0.0
+    for node in root.preorder():
+        rows = float(node.props.get("Plan Rows", 0.0))
+        ios = float(node.props.get("Estimated I/Os", 0.0))
+        if node.op is PhysicalOp.SEQ_SCAN:
+            seq_pages += ios
+            tuples += rows
+        elif node.op is PhysicalOp.INDEX_SCAN:
+            rand_pages += ios
+            index_tuples += rows
+        else:
+            seq_pages += ios  # spill I/O is sequential
+            tuples += rows
+            op_evals += rows + sum(
+                float(c.props.get("Plan Rows", 0.0)) for c in node.children
+            )
+    return np.array([seq_pages, rand_pages, tuples, index_tuples, op_evals])
+
+
+RESOURCE_NAMES = ("seq_pages", "rand_pages", "tuples", "index_tuples", "op_evals")

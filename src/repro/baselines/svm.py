@@ -1,0 +1,99 @@
+"""The SVM baseline: Akdere et al., "Learning-based query performance
+modeling and prediction" (ICDE'12), as described in the paper's §6:
+
+    "a regression variant of SVM models are built for each operator while
+    selective applications of plan-level models are used in situations
+    where the operator-level models are likely to be inaccurate.  The set
+    of input vectors for both the operator and plan level models are
+    hand-picked."
+
+Operator-level ε-SVR models predict each operator's cumulative latency
+from hand-picked optimizer-estimate features plus the (predicted)
+latencies of its children; a plan-level SVR is used instead when the
+plan's structure was never seen during training — the "likely to be
+inaccurate" trigger.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.plans.node import PlanNode
+from repro.plans.operators import LogicalType
+from repro.workload.generator import PlanSample
+
+from .common import operator_dataset, plan_features, predict_hierarchical
+from .svr import LinearSVR
+
+
+class SVMPredictor:
+    """Operator-level SVRs with a plan-level fallback model."""
+
+    name = "SVM"
+
+    def __init__(
+        self,
+        epsilon: float = 0.02,
+        C: float = 10.0,
+        epochs: int = 150,
+        seed: int = 0,
+    ) -> None:
+        self.epsilon = epsilon
+        self.C = C
+        self.epochs = epochs
+        self.seed = seed
+        self._operator_models: dict[LogicalType, LinearSVR] = {}
+        self._plan_model: Optional[LinearSVR] = None
+        self._seen_signatures: set[str] = set()
+        self._latency_scale: float = 1.0
+
+    # ------------------------------------------------------------------
+    def fit(self, samples: Sequence[PlanSample]) -> "SVMPredictor":
+        if not samples:
+            raise ValueError("cannot fit on an empty corpus")
+        self._latency_scale = float(
+            max(1e-9, np.mean([s.latency_ms for s in samples]))
+        )
+        # Operator-level models: log-latency from features + child sum,
+        # trained with teacher forcing (actual child latencies).  Latencies
+        # span orders of magnitude, so the SVR regresses in log space.
+        for ltype, (X, child_sum, y) in operator_dataset(samples).items():
+            X_full = np.column_stack([X, np.log1p(child_sum)])
+            model = LinearSVR(self.epsilon, self.C, epochs=self.epochs, seed=self.seed)
+            model.fit(X_full, np.log1p(y))
+            self._operator_models[ltype] = model
+        # Plan-level fallback (log space as well).
+        P = np.vstack([plan_features(s.plan) for s in samples])
+        latencies = np.array([s.latency_ms for s in samples])
+        self._plan_model = LinearSVR(self.epsilon, self.C, epochs=self.epochs, seed=self.seed + 1)
+        self._plan_model.fit(P, np.log1p(latencies))
+        self._seen_signatures = {s.plan.structure_signature() for s in samples}
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, plan: PlanNode) -> float:
+        if self._plan_model is None:
+            raise RuntimeError("SVMPredictor is not fitted")
+        if self._use_plan_level(plan):
+            value = float(np.expm1(self._plan_model.predict(plan_features(plan))))
+            return max(0.01, value)
+        return predict_hierarchical(plan, self._predict_node)
+
+    def _predict_node(self, ltype: LogicalType, features: np.ndarray, child_sum: float) -> float:
+        model = self._operator_models.get(ltype)
+        if model is None:  # operator type unseen in training
+            return child_sum
+        x = np.concatenate([features, [np.log1p(child_sum)]])
+        pred = float(np.expm1(model.predict(x)))
+        # Cumulative latency can never be below the children's.
+        return max(pred, child_sum)
+
+    def _use_plan_level(self, plan: PlanNode) -> bool:
+        """Fall back when operator models are 'likely to be inaccurate'."""
+        if plan.structure_signature() in self._seen_signatures:
+            return False
+        return any(
+            node.logical_type not in self._operator_models for node in plan.preorder()
+        )

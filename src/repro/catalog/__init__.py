@@ -1,0 +1,35 @@
+"""Database catalog substrate: schemas, statistics, TPC-H / TPC-DS."""
+
+from .schema import PAGE_SIZE_BYTES, Column, Index, Schema, Table
+from .statistics import (
+    DATE_HI,
+    DATE_LO,
+    categorical_column,
+    date_column,
+    fk_column,
+    int_key_column,
+    numeric_column,
+    scaled,
+)
+from .tpch import TPCH_FK_EDGES, tpch_schema
+from .tpcds import TPCDS_FK_EDGES, tpcds_schema
+
+__all__ = [
+    "PAGE_SIZE_BYTES",
+    "Column",
+    "Index",
+    "Schema",
+    "Table",
+    "DATE_HI",
+    "DATE_LO",
+    "categorical_column",
+    "date_column",
+    "fk_column",
+    "int_key_column",
+    "numeric_column",
+    "scaled",
+    "tpch_schema",
+    "TPCH_FK_EDGES",
+    "tpcds_schema",
+    "TPCDS_FK_EDGES",
+]

@@ -1,0 +1,83 @@
+"""Synthetic per-attribute statistics generation.
+
+Real TPC data generators produce deterministic data; here we synthesize the
+*statistics* the planner and featurizer need (min/median/max, NDV) without
+materializing rows.  Generation is seeded so every run of the reproduction
+sees the same "database".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schema import Column
+
+# Days since 1970-01-01 for the TPC date ranges (1992-01-01 .. 1998-12-31).
+DATE_LO = 8035
+DATE_HI = 10592
+
+
+def int_key_column(name: str, count: int, width: int = 8) -> Column:
+    """A dense surrogate key column: 1..count, all distinct."""
+    count = max(1, count)
+    return Column(
+        name=name,
+        dtype="int",
+        min_value=1.0,
+        median_value=(count + 1) / 2.0,
+        max_value=float(count),
+        ndv=count,
+        width=width,
+    )
+
+
+def fk_column(name: str, parent_count: int, width: int = 8) -> Column:
+    """A foreign-key column referencing a dense key of size ``parent_count``."""
+    return int_key_column(name, parent_count, width=width)
+
+
+def numeric_column(
+    name: str,
+    low: float,
+    high: float,
+    ndv: int,
+    rng: np.random.Generator,
+    skew: float = 0.0,
+    width: int = 8,
+) -> Column:
+    """A numeric measure column with optional median skew.
+
+    ``skew`` in [-1, 1] pushes the median toward the low (negative) or high
+    (positive) end, emulating non-uniform value distributions.
+    """
+    if high < low:
+        raise ValueError("high < low")
+    mid = (low + high) / 2.0
+    half = (high - low) / 2.0
+    jitter = float(rng.uniform(-0.1, 0.1)) * half
+    median = float(np.clip(mid + skew * half * 0.8 + jitter, low, high))
+    return Column(name, "float", low, median, high, max(1, ndv), width)
+
+
+def date_column(name: str, rng: np.random.Generator, width: int = 4) -> Column:
+    median = float(rng.uniform(DATE_LO + 300, DATE_HI - 300))
+    return Column(name, "date", float(DATE_LO), median, float(DATE_HI), DATE_HI - DATE_LO + 1, width)
+
+
+def categorical_column(name: str, cardinality: int, width: int = 16) -> Column:
+    """A low-cardinality string column, encoded by lexicographic rank."""
+    cardinality = max(1, cardinality)
+    return Column(
+        name,
+        "str",
+        0.0,
+        (cardinality - 1) / 2.0,
+        float(cardinality - 1),
+        cardinality,
+        width,
+    )
+
+
+def scaled(base_rows: int, scale_factor: float) -> int:
+    """Scale a per-SF1 row count to the configured scale factor."""
+    return max(1, int(round(base_rows * scale_factor)))

@@ -1,0 +1,510 @@
+"""TPC-DS schema and statistics, scale-factor aware.
+
+We model the 24 tables the TPC-DS workload touches most: the seven large
+fact tables (three sales channels, three returns channels, inventory) and
+the dimensions they join.  Row counts at SF1 follow the TPC-DS
+specification; fact tables scale linearly with SF while dimensions scale
+sub-linearly (as in the spec's table scaling rules, approximated with a
+square-root law) and the fixed-size dimensions stay fixed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schema import Index, Schema, Table
+from .statistics import (
+    categorical_column,
+    date_column,
+    fk_column,
+    int_key_column,
+    numeric_column,
+    scaled,
+)
+
+
+def _dim_scaled(base_rows: int, sf: float) -> int:
+    """Sub-linear dimension scaling (TPC-DS dims grow ~sqrt of SF)."""
+    return max(1, int(round(base_rows * max(1.0, sf) ** 0.5)))
+
+
+def tpcds_schema(scale_factor: float = 1.0, seed: int = 2) -> Schema:
+    """Build the TPC-DS catalog at ``scale_factor`` with seeded statistics."""
+    rng = np.random.default_rng(seed)
+    sf = scale_factor
+
+    n_date = 73_049
+    n_time = 86_400
+    n_item = _dim_scaled(18_000, sf)
+    n_customer = _dim_scaled(100_000, sf)
+    n_address = _dim_scaled(50_000, sf)
+    n_cdemo = 1_920_800
+    n_hdemo = 7_200
+    n_store = max(12, int(round(12 * max(1.0, sf) ** 0.5)))
+    n_warehouse = max(5, int(round(5 * max(1.0, sf) ** 0.25)))
+    n_promo = _dim_scaled(300, sf)
+    n_web_site = max(30, int(round(30 * max(1.0, sf) ** 0.25)))
+    n_web_page = _dim_scaled(60, sf)
+    n_call_center = max(6, int(round(6 * max(1.0, sf) ** 0.25)))
+    n_catalog_page = _dim_scaled(11_718, sf)
+    n_ship_mode = 20
+    n_reason = 35
+    n_income_band = 20
+
+    n_store_sales = scaled(2_880_404, sf)
+    n_store_returns = scaled(287_514, sf)
+    n_catalog_sales = scaled(1_441_548, sf)
+    n_catalog_returns = scaled(144_067, sf)
+    n_web_sales = scaled(719_384, sf)
+    n_web_returns = scaled(71_763, sf)
+    n_inventory = scaled(11_745_000, sf)
+
+    def measures(prefix: str) -> list:
+        return [
+            numeric_column(f"{prefix}_quantity", 1.0, 100.0, 100, rng),
+            numeric_column(f"{prefix}_wholesale_cost", 1.0, 100.0, 10_000, rng),
+            numeric_column(f"{prefix}_list_price", 1.0, 300.0, 30_000, rng, skew=-0.2),
+            numeric_column(f"{prefix}_sales_price", 0.0, 300.0, 30_000, rng, skew=-0.4),
+            numeric_column(f"{prefix}_ext_discount_amt", 0.0, 30_000.0, 10**6, rng, skew=-0.7),
+            numeric_column(f"{prefix}_net_paid", 0.0, 30_000.0, 10**6, rng, skew=-0.5),
+            numeric_column(f"{prefix}_net_profit", -10_000.0, 20_000.0, 10**6, rng),
+        ]
+
+    date_dim = Table(
+        "date_dim",
+        [
+            int_key_column("d_date_sk", n_date, width=4),
+            date_column("d_date", rng),
+            numeric_column("d_year", 1900, 2100, 201, rng, width=4),
+            numeric_column("d_moy", 1, 12, 12, rng, width=4),
+            numeric_column("d_dom", 1, 31, 31, rng, width=4),
+            numeric_column("d_qoy", 1, 4, 4, rng, width=4),
+            categorical_column("d_day_name", 7, width=9),
+        ],
+        n_date,
+        indexes=[Index("date_dim_pkey", "date_dim", "d_date_sk", unique=True, clustered=True)],
+    )
+
+    time_dim = Table(
+        "time_dim",
+        [
+            int_key_column("t_time_sk", n_time, width=4),
+            numeric_column("t_hour", 0, 23, 24, rng, width=4),
+            numeric_column("t_minute", 0, 59, 60, rng, width=4),
+            categorical_column("t_meal_time", 4, width=20),
+        ],
+        n_time,
+        indexes=[Index("time_dim_pkey", "time_dim", "t_time_sk", unique=True, clustered=True)],
+    )
+
+    item = Table(
+        "item",
+        [
+            int_key_column("i_item_sk", n_item, width=4),
+            categorical_column("i_category", 10, width=50),
+            categorical_column("i_class", 100, width=50),
+            categorical_column("i_brand", 1000, width=50),
+            categorical_column("i_color", 92, width=20),
+            categorical_column("i_size", 7, width=20),
+            numeric_column("i_current_price", 0.09, 99.99, 10_000, rng),
+            numeric_column("i_manufact_id", 1, 1000, 1000, rng, width=4),
+            numeric_column("i_manager_id", 1, 100, 100, rng, width=4),
+        ],
+        n_item,
+        indexes=[Index("item_pkey", "item", "i_item_sk", unique=True, clustered=True)],
+    )
+
+    customer = Table(
+        "customer",
+        [
+            int_key_column("c_customer_sk", n_customer, width=4),
+            fk_column("c_current_cdemo_sk", n_cdemo, width=4),
+            fk_column("c_current_hdemo_sk", n_hdemo, width=4),
+            fk_column("c_current_addr_sk", n_address, width=4),
+            numeric_column("c_birth_year", 1924, 1992, 69, rng, width=4),
+            categorical_column("c_preferred_cust_flag", 2, width=1),
+        ],
+        n_customer,
+        indexes=[Index("customer_pkey", "customer", "c_customer_sk", unique=True, clustered=True)],
+    )
+
+    customer_address = Table(
+        "customer_address",
+        [
+            int_key_column("ca_address_sk", n_address, width=4),
+            categorical_column("ca_state", 51, width=2),
+            categorical_column("ca_county", 1850, width=30),
+            categorical_column("ca_city", 700, width=60),
+            numeric_column("ca_gmt_offset", -10.0, -5.0, 6, rng),
+        ],
+        n_address,
+        indexes=[
+            Index("customer_address_pkey", "customer_address", "ca_address_sk", unique=True, clustered=True)
+        ],
+    )
+
+    customer_demographics = Table(
+        "customer_demographics",
+        [
+            int_key_column("cd_demo_sk", n_cdemo, width=4),
+            categorical_column("cd_gender", 2, width=1),
+            categorical_column("cd_marital_status", 5, width=1),
+            categorical_column("cd_education_status", 7, width=20),
+            numeric_column("cd_dep_count", 0, 6, 7, rng, width=4),
+        ],
+        n_cdemo,
+        indexes=[
+            Index("customer_demographics_pkey", "customer_demographics", "cd_demo_sk", unique=True, clustered=True)
+        ],
+    )
+
+    household_demographics = Table(
+        "household_demographics",
+        [
+            int_key_column("hd_demo_sk", n_hdemo, width=4),
+            fk_column("hd_income_band_sk", n_income_band, width=4),
+            categorical_column("hd_buy_potential", 6, width=15),
+            numeric_column("hd_dep_count", 0, 9, 10, rng, width=4),
+            numeric_column("hd_vehicle_count", -1, 4, 6, rng, width=4),
+        ],
+        n_hdemo,
+        indexes=[
+            Index("household_demographics_pkey", "household_demographics", "hd_demo_sk", unique=True, clustered=True)
+        ],
+    )
+
+    income_band = Table(
+        "income_band",
+        [
+            int_key_column("ib_income_band_sk", n_income_band, width=4),
+            numeric_column("ib_lower_bound", 0, 190_000, 20, rng, width=4),
+            numeric_column("ib_upper_bound", 10_000, 200_000, 20, rng, width=4),
+        ],
+        n_income_band,
+        indexes=[Index("income_band_pkey", "income_band", "ib_income_band_sk", unique=True, clustered=True)],
+    )
+
+    store = Table(
+        "store",
+        [
+            int_key_column("s_store_sk", n_store, width=4),
+            categorical_column("s_state", 9, width=2),
+            categorical_column("s_county", 30, width=30),
+            categorical_column("s_city", 60, width=60),
+            numeric_column("s_number_employees", 200, 300, 101, rng, width=4),
+            numeric_column("s_floor_space", 5_000_000, 10_000_000, 10**5, rng, width=4),
+        ],
+        n_store,
+        indexes=[Index("store_pkey", "store", "s_store_sk", unique=True, clustered=True)],
+    )
+
+    warehouse = Table(
+        "warehouse",
+        [
+            int_key_column("w_warehouse_sk", n_warehouse, width=4),
+            categorical_column("w_state", 9, width=2),
+            numeric_column("w_warehouse_sq_ft", 50_000, 1_000_000, 10**4, rng, width=4),
+        ],
+        n_warehouse,
+        indexes=[Index("warehouse_pkey", "warehouse", "w_warehouse_sk", unique=True, clustered=True)],
+    )
+
+    promotion = Table(
+        "promotion",
+        [
+            int_key_column("p_promo_sk", n_promo, width=4),
+            categorical_column("p_channel_email", 2, width=1),
+            categorical_column("p_channel_tv", 2, width=1),
+            categorical_column("p_channel_event", 2, width=1),
+        ],
+        n_promo,
+        indexes=[Index("promotion_pkey", "promotion", "p_promo_sk", unique=True, clustered=True)],
+    )
+
+    web_site = Table(
+        "web_site",
+        [
+            int_key_column("web_site_sk", n_web_site, width=4),
+            categorical_column("web_class", 5, width=50),
+        ],
+        n_web_site,
+        indexes=[Index("web_site_pkey", "web_site", "web_site_sk", unique=True, clustered=True)],
+    )
+
+    web_page = Table(
+        "web_page",
+        [
+            int_key_column("wp_web_page_sk", n_web_page, width=4),
+            numeric_column("wp_char_count", 100, 8000, 7901, rng, width=4),
+        ],
+        n_web_page,
+        indexes=[Index("web_page_pkey", "web_page", "wp_web_page_sk", unique=True, clustered=True)],
+    )
+
+    call_center = Table(
+        "call_center",
+        [
+            int_key_column("cc_call_center_sk", n_call_center, width=4),
+            categorical_column("cc_class", 3, width=50),
+            numeric_column("cc_employees", 1, 7, 7, rng, width=4),
+        ],
+        n_call_center,
+        indexes=[Index("call_center_pkey", "call_center", "cc_call_center_sk", unique=True, clustered=True)],
+    )
+
+    catalog_page = Table(
+        "catalog_page",
+        [
+            int_key_column("cp_catalog_page_sk", n_catalog_page, width=4),
+            numeric_column("cp_catalog_page_number", 1, 109, 109, rng, width=4),
+        ],
+        n_catalog_page,
+        indexes=[
+            Index("catalog_page_pkey", "catalog_page", "cp_catalog_page_sk", unique=True, clustered=True)
+        ],
+    )
+
+    ship_mode = Table(
+        "ship_mode",
+        [
+            int_key_column("sm_ship_mode_sk", n_ship_mode, width=4),
+            categorical_column("sm_type", 6, width=30),
+            categorical_column("sm_carrier", 20, width=20),
+        ],
+        n_ship_mode,
+        indexes=[Index("ship_mode_pkey", "ship_mode", "sm_ship_mode_sk", unique=True, clustered=True)],
+    )
+
+    reason = Table(
+        "reason",
+        [
+            int_key_column("r_reason_sk", n_reason, width=4),
+            categorical_column("r_reason_desc", 35, width=100),
+        ],
+        n_reason,
+        indexes=[Index("reason_pkey", "reason", "r_reason_sk", unique=True, clustered=True)],
+    )
+
+    store_sales = Table(
+        "store_sales",
+        [
+            fk_column("ss_sold_date_sk", n_date, width=4),
+            fk_column("ss_sold_time_sk", n_time, width=4),
+            fk_column("ss_item_sk", n_item, width=4),
+            fk_column("ss_customer_sk", n_customer, width=4),
+            fk_column("ss_cdemo_sk", n_cdemo, width=4),
+            fk_column("ss_hdemo_sk", n_hdemo, width=4),
+            fk_column("ss_addr_sk", n_address, width=4),
+            fk_column("ss_store_sk", n_store, width=4),
+            fk_column("ss_promo_sk", n_promo, width=4),
+            *measures("ss"),
+        ],
+        n_store_sales,
+        indexes=[
+            Index("store_sales_date_idx", "store_sales", "ss_sold_date_sk", clustered=True),
+            Index("store_sales_item_idx", "store_sales", "ss_item_sk"),
+            Index("store_sales_customer_idx", "store_sales", "ss_customer_sk"),
+        ],
+    )
+
+    store_returns = Table(
+        "store_returns",
+        [
+            fk_column("sr_returned_date_sk", n_date, width=4),
+            fk_column("sr_item_sk", n_item, width=4),
+            fk_column("sr_customer_sk", n_customer, width=4),
+            fk_column("sr_store_sk", n_store, width=4),
+            fk_column("sr_reason_sk", n_reason, width=4),
+            numeric_column("sr_return_quantity", 1.0, 100.0, 100, rng),
+            numeric_column("sr_return_amt", 0.0, 20_000.0, 10**6, rng, skew=-0.6),
+            numeric_column("sr_net_loss", 0.0, 10_000.0, 10**6, rng, skew=-0.6),
+        ],
+        n_store_returns,
+        indexes=[
+            Index("store_returns_date_idx", "store_returns", "sr_returned_date_sk", clustered=True),
+            Index("store_returns_item_idx", "store_returns", "sr_item_sk"),
+        ],
+    )
+
+    catalog_sales = Table(
+        "catalog_sales",
+        [
+            fk_column("cs_sold_date_sk", n_date, width=4),
+            fk_column("cs_ship_date_sk", n_date, width=4),
+            fk_column("cs_item_sk", n_item, width=4),
+            fk_column("cs_bill_customer_sk", n_customer, width=4),
+            fk_column("cs_bill_cdemo_sk", n_cdemo, width=4),
+            fk_column("cs_bill_addr_sk", n_address, width=4),
+            fk_column("cs_call_center_sk", n_call_center, width=4),
+            fk_column("cs_catalog_page_sk", n_catalog_page, width=4),
+            fk_column("cs_ship_mode_sk", n_ship_mode, width=4),
+            fk_column("cs_warehouse_sk", n_warehouse, width=4),
+            fk_column("cs_promo_sk", n_promo, width=4),
+            *measures("cs"),
+        ],
+        n_catalog_sales,
+        indexes=[
+            Index("catalog_sales_date_idx", "catalog_sales", "cs_sold_date_sk", clustered=True),
+            Index("catalog_sales_item_idx", "catalog_sales", "cs_item_sk"),
+        ],
+    )
+
+    catalog_returns = Table(
+        "catalog_returns",
+        [
+            fk_column("cr_returned_date_sk", n_date, width=4),
+            fk_column("cr_item_sk", n_item, width=4),
+            fk_column("cr_returning_customer_sk", n_customer, width=4),
+            fk_column("cr_call_center_sk", n_call_center, width=4),
+            fk_column("cr_reason_sk", n_reason, width=4),
+            numeric_column("cr_return_quantity", 1.0, 100.0, 100, rng),
+            numeric_column("cr_return_amount", 0.0, 20_000.0, 10**6, rng, skew=-0.6),
+            numeric_column("cr_net_loss", 0.0, 10_000.0, 10**6, rng, skew=-0.6),
+        ],
+        n_catalog_returns,
+        indexes=[
+            Index("catalog_returns_date_idx", "catalog_returns", "cr_returned_date_sk", clustered=True),
+        ],
+    )
+
+    web_sales = Table(
+        "web_sales",
+        [
+            fk_column("ws_sold_date_sk", n_date, width=4),
+            fk_column("ws_ship_date_sk", n_date, width=4),
+            fk_column("ws_item_sk", n_item, width=4),
+            fk_column("ws_bill_customer_sk", n_customer, width=4),
+            fk_column("ws_bill_addr_sk", n_address, width=4),
+            fk_column("ws_web_site_sk", n_web_site, width=4),
+            fk_column("ws_web_page_sk", n_web_page, width=4),
+            fk_column("ws_ship_mode_sk", n_ship_mode, width=4),
+            fk_column("ws_warehouse_sk", n_warehouse, width=4),
+            fk_column("ws_promo_sk", n_promo, width=4),
+            *measures("ws"),
+        ],
+        n_web_sales,
+        indexes=[
+            Index("web_sales_date_idx", "web_sales", "ws_sold_date_sk", clustered=True),
+            Index("web_sales_item_idx", "web_sales", "ws_item_sk"),
+        ],
+    )
+
+    web_returns = Table(
+        "web_returns",
+        [
+            fk_column("wr_returned_date_sk", n_date, width=4),
+            fk_column("wr_item_sk", n_item, width=4),
+            fk_column("wr_returning_customer_sk", n_customer, width=4),
+            fk_column("wr_web_page_sk", n_web_page, width=4),
+            fk_column("wr_reason_sk", n_reason, width=4),
+            numeric_column("wr_return_quantity", 1.0, 100.0, 100, rng),
+            numeric_column("wr_return_amt", 0.0, 20_000.0, 10**6, rng, skew=-0.6),
+            numeric_column("wr_net_loss", 0.0, 10_000.0, 10**6, rng, skew=-0.6),
+        ],
+        n_web_returns,
+        indexes=[
+            Index("web_returns_date_idx", "web_returns", "wr_returned_date_sk", clustered=True),
+        ],
+    )
+
+    inventory = Table(
+        "inventory",
+        [
+            fk_column("inv_date_sk", n_date, width=4),
+            fk_column("inv_item_sk", n_item, width=4),
+            fk_column("inv_warehouse_sk", n_warehouse, width=4),
+            numeric_column("inv_quantity_on_hand", 0, 1000, 1001, rng, width=4),
+        ],
+        n_inventory,
+        indexes=[
+            Index("inventory_date_idx", "inventory", "inv_date_sk", clustered=True),
+            Index("inventory_item_idx", "inventory", "inv_item_sk"),
+        ],
+    )
+
+    return Schema(
+        "tpcds",
+        [
+            date_dim,
+            time_dim,
+            item,
+            customer,
+            customer_address,
+            customer_demographics,
+            household_demographics,
+            income_band,
+            store,
+            warehouse,
+            promotion,
+            web_site,
+            web_page,
+            call_center,
+            catalog_page,
+            ship_mode,
+            reason,
+            store_sales,
+            store_returns,
+            catalog_sales,
+            catalog_returns,
+            web_sales,
+            web_returns,
+            inventory,
+        ],
+    )
+
+
+# Foreign-key edges for the TPC-DS subset we model.
+TPCDS_FK_EDGES: list[tuple[str, str, str, str]] = [
+    ("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"),
+    ("store_sales", "ss_sold_time_sk", "time_dim", "t_time_sk"),
+    ("store_sales", "ss_item_sk", "item", "i_item_sk"),
+    ("store_sales", "ss_customer_sk", "customer", "c_customer_sk"),
+    ("store_sales", "ss_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+    ("store_sales", "ss_hdemo_sk", "household_demographics", "hd_demo_sk"),
+    ("store_sales", "ss_addr_sk", "customer_address", "ca_address_sk"),
+    ("store_sales", "ss_store_sk", "store", "s_store_sk"),
+    ("store_sales", "ss_promo_sk", "promotion", "p_promo_sk"),
+    ("store_returns", "sr_returned_date_sk", "date_dim", "d_date_sk"),
+    ("store_returns", "sr_item_sk", "item", "i_item_sk"),
+    ("store_returns", "sr_customer_sk", "customer", "c_customer_sk"),
+    ("store_returns", "sr_store_sk", "store", "s_store_sk"),
+    ("store_returns", "sr_reason_sk", "reason", "r_reason_sk"),
+    ("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk"),
+    ("catalog_sales", "cs_ship_date_sk", "date_dim", "d_date_sk"),
+    ("catalog_sales", "cs_item_sk", "item", "i_item_sk"),
+    ("catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk"),
+    ("catalog_sales", "cs_bill_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+    ("catalog_sales", "cs_bill_addr_sk", "customer_address", "ca_address_sk"),
+    ("catalog_sales", "cs_call_center_sk", "call_center", "cc_call_center_sk"),
+    ("catalog_sales", "cs_catalog_page_sk", "catalog_page", "cp_catalog_page_sk"),
+    ("catalog_sales", "cs_ship_mode_sk", "ship_mode", "sm_ship_mode_sk"),
+    ("catalog_sales", "cs_warehouse_sk", "warehouse", "w_warehouse_sk"),
+    ("catalog_sales", "cs_promo_sk", "promotion", "p_promo_sk"),
+    ("catalog_returns", "cr_returned_date_sk", "date_dim", "d_date_sk"),
+    ("catalog_returns", "cr_item_sk", "item", "i_item_sk"),
+    ("catalog_returns", "cr_returning_customer_sk", "customer", "c_customer_sk"),
+    ("catalog_returns", "cr_call_center_sk", "call_center", "cc_call_center_sk"),
+    ("catalog_returns", "cr_reason_sk", "reason", "r_reason_sk"),
+    ("web_sales", "ws_sold_date_sk", "date_dim", "d_date_sk"),
+    ("web_sales", "ws_ship_date_sk", "date_dim", "d_date_sk"),
+    ("web_sales", "ws_item_sk", "item", "i_item_sk"),
+    ("web_sales", "ws_bill_customer_sk", "customer", "c_customer_sk"),
+    ("web_sales", "ws_bill_addr_sk", "customer_address", "ca_address_sk"),
+    ("web_sales", "ws_web_site_sk", "web_site", "web_site_sk"),
+    ("web_sales", "ws_web_page_sk", "web_page", "wp_web_page_sk"),
+    ("web_sales", "ws_ship_mode_sk", "ship_mode", "sm_ship_mode_sk"),
+    ("web_sales", "ws_warehouse_sk", "warehouse", "w_warehouse_sk"),
+    ("web_sales", "ws_promo_sk", "promotion", "p_promo_sk"),
+    ("web_returns", "wr_returned_date_sk", "date_dim", "d_date_sk"),
+    ("web_returns", "wr_item_sk", "item", "i_item_sk"),
+    ("web_returns", "wr_returning_customer_sk", "customer", "c_customer_sk"),
+    ("web_returns", "wr_web_page_sk", "web_page", "wp_web_page_sk"),
+    ("web_returns", "wr_reason_sk", "reason", "r_reason_sk"),
+    ("inventory", "inv_date_sk", "date_dim", "d_date_sk"),
+    ("inventory", "inv_item_sk", "item", "i_item_sk"),
+    ("inventory", "inv_warehouse_sk", "warehouse", "w_warehouse_sk"),
+    ("customer", "c_current_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+    ("customer", "c_current_hdemo_sk", "household_demographics", "hd_demo_sk"),
+    ("customer", "c_current_addr_sk", "customer_address", "ca_address_sk"),
+    ("household_demographics", "hd_income_band_sk", "income_band", "ib_income_band_sk"),
+]

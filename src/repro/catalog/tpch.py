@@ -1,0 +1,175 @@
+"""TPC-H schema and statistics (all 8 tables), scale-factor aware.
+
+Row counts follow the TPC-H specification (per SF1): lineitem 6M, orders
+1.5M, partsupp 800k, part 200k, customer 150k, supplier 10k, nation 25,
+region 5.  The paper evaluates at SF100; our default experiment config
+uses a smaller SF so the simulator's latencies stay in a convenient range,
+but the schema scales to any SF.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schema import Index, Schema, Table
+from .statistics import (
+    categorical_column,
+    date_column,
+    fk_column,
+    int_key_column,
+    numeric_column,
+    scaled,
+)
+
+
+def tpch_schema(scale_factor: float = 1.0, seed: int = 1) -> Schema:
+    """Build the TPC-H catalog at ``scale_factor`` with seeded statistics."""
+    rng = np.random.default_rng(seed)
+    sf = scale_factor
+
+    n_region = 5
+    n_nation = 25
+    n_supplier = scaled(10_000, sf)
+    n_part = scaled(200_000, sf)
+    n_partsupp = scaled(800_000, sf)
+    n_customer = scaled(150_000, sf)
+    n_orders = scaled(1_500_000, sf)
+    n_lineitem = scaled(6_000_000, sf)
+
+    region = Table(
+        "region",
+        [
+            int_key_column("r_regionkey", n_region, width=4),
+            categorical_column("r_name", n_region, width=25),
+        ],
+        n_region,
+        indexes=[Index("region_pkey", "region", "r_regionkey", unique=True, clustered=True)],
+    )
+
+    nation = Table(
+        "nation",
+        [
+            int_key_column("n_nationkey", n_nation, width=4),
+            categorical_column("n_name", n_nation, width=25),
+            fk_column("n_regionkey", n_region, width=4),
+        ],
+        n_nation,
+        indexes=[Index("nation_pkey", "nation", "n_nationkey", unique=True, clustered=True)],
+    )
+
+    supplier = Table(
+        "supplier",
+        [
+            int_key_column("s_suppkey", n_supplier, width=4),
+            categorical_column("s_name", n_supplier, width=25),
+            fk_column("s_nationkey", n_nation, width=4),
+            numeric_column("s_acctbal", -999.99, 9999.99, 10**6, rng),
+        ],
+        n_supplier,
+        indexes=[Index("supplier_pkey", "supplier", "s_suppkey", unique=True, clustered=True)],
+    )
+
+    part = Table(
+        "part",
+        [
+            int_key_column("p_partkey", n_part, width=4),
+            categorical_column("p_name", min(n_part, 200_000), width=55),
+            categorical_column("p_brand", 25, width=10),
+            categorical_column("p_type", 150, width=25),
+            categorical_column("p_container", 40, width=10),
+            numeric_column("p_size", 1, 50, 50, rng),
+            numeric_column("p_retailprice", 900.0, 2100.0, 120_000, rng),
+        ],
+        n_part,
+        indexes=[Index("part_pkey", "part", "p_partkey", unique=True, clustered=True)],
+    )
+
+    partsupp = Table(
+        "partsupp",
+        [
+            fk_column("ps_partkey", n_part, width=4),
+            fk_column("ps_suppkey", n_supplier, width=4),
+            numeric_column("ps_availqty", 1, 9999, 9999, rng),
+            numeric_column("ps_supplycost", 1.0, 1000.0, 100_000, rng),
+        ],
+        n_partsupp,
+        indexes=[Index("partsupp_pk_idx", "partsupp", "ps_partkey", clustered=True)],
+    )
+
+    customer = Table(
+        "customer",
+        [
+            int_key_column("c_custkey", n_customer, width=4),
+            categorical_column("c_mktsegment", 5, width=10),
+            fk_column("c_nationkey", n_nation, width=4),
+            numeric_column("c_acctbal", -999.99, 9999.99, 10**6, rng),
+        ],
+        n_customer,
+        indexes=[Index("customer_pkey", "customer", "c_custkey", unique=True, clustered=True)],
+    )
+
+    orders = Table(
+        "orders",
+        [
+            int_key_column("o_orderkey", n_orders, width=4),
+            fk_column("o_custkey", n_customer, width=4),
+            categorical_column("o_orderstatus", 3, width=1),
+            numeric_column("o_totalprice", 850.0, 560_000.0, 10**6, rng, skew=-0.4),
+            date_column("o_orderdate", rng),
+            categorical_column("o_orderpriority", 5, width=15),
+            numeric_column("o_shippriority", 0, 1, 2, rng, width=4),
+        ],
+        n_orders,
+        indexes=[
+            Index("orders_pkey", "orders", "o_orderkey", unique=True, clustered=True),
+            Index("orders_custkey_idx", "orders", "o_custkey"),
+            Index("orders_orderdate_idx", "orders", "o_orderdate"),
+        ],
+    )
+
+    lineitem = Table(
+        "lineitem",
+        [
+            fk_column("l_orderkey", n_orders, width=4),
+            fk_column("l_partkey", n_part, width=4),
+            fk_column("l_suppkey", n_supplier, width=4),
+            numeric_column("l_quantity", 1.0, 50.0, 50, rng),
+            numeric_column("l_extendedprice", 900.0, 105_000.0, 10**6, rng, skew=-0.3),
+            numeric_column("l_discount", 0.0, 0.10, 11, rng),
+            numeric_column("l_tax", 0.0, 0.08, 9, rng),
+            categorical_column("l_returnflag", 3, width=1),
+            categorical_column("l_linestatus", 2, width=1),
+            date_column("l_shipdate", rng),
+            date_column("l_commitdate", rng),
+            date_column("l_receiptdate", rng),
+            categorical_column("l_shipinstruct", 4, width=25),
+            categorical_column("l_shipmode", 7, width=10),
+        ],
+        n_lineitem,
+        indexes=[
+            Index("lineitem_orderkey_idx", "lineitem", "l_orderkey", clustered=True),
+            Index("lineitem_shipdate_idx", "lineitem", "l_shipdate"),
+            Index("lineitem_partkey_idx", "lineitem", "l_partkey"),
+        ],
+    )
+
+    return Schema(
+        "tpch",
+        [region, nation, supplier, part, partsupp, customer, orders, lineitem],
+    )
+
+
+# Foreign-key join edges of the TPC-H schema: (child table, child column,
+# parent table, parent column).  Used by templates and the planner's true
+# join selectivity model.
+TPCH_FK_EDGES: list[tuple[str, str, str, str]] = [
+    ("nation", "n_regionkey", "region", "r_regionkey"),
+    ("supplier", "s_nationkey", "nation", "n_nationkey"),
+    ("customer", "c_nationkey", "nation", "n_nationkey"),
+    ("partsupp", "ps_partkey", "part", "p_partkey"),
+    ("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+    ("orders", "o_custkey", "customer", "c_custkey"),
+    ("lineitem", "l_orderkey", "orders", "o_orderkey"),
+    ("lineitem", "l_partkey", "part", "p_partkey"),
+    ("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+]

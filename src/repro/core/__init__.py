@@ -1,0 +1,38 @@
+"""QPP Net core: neural units, plan-structured model, training."""
+
+from .bundle import load_bundle, save_bundle
+from .batching import (
+    PlanGraph,
+    StructureGroup,
+    VectorizedPlan,
+    group_by_structure,
+    plan_graph,
+    sample_batches,
+    vectorize_corpus,
+    vectorize_plan,
+)
+from .config import TRAINING_MODES, QPPNetConfig
+from .model import MIN_PREDICTION_MS, QPPNet
+from .trainer import Trainer, TrainingHistory, train_qppnet
+from .unit import NeuralUnit
+
+__all__ = [
+    "QPPNetConfig",
+    "TRAINING_MODES",
+    "NeuralUnit",
+    "QPPNet",
+    "MIN_PREDICTION_MS",
+    "Trainer",
+    "TrainingHistory",
+    "train_qppnet",
+    "save_bundle",
+    "load_bundle",
+    "PlanGraph",
+    "VectorizedPlan",
+    "StructureGroup",
+    "plan_graph",
+    "vectorize_plan",
+    "vectorize_corpus",
+    "group_by_structure",
+    "sample_batches",
+]

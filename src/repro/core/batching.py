@@ -1,0 +1,143 @@
+"""Plan-based batch training support (paper §5.1.1).
+
+Plans whose trees have identical *logical structure* can be vectorized
+together: position ``p`` of every plan in the group runs through the same
+neural unit, so the per-position feature vectors stack into matrices and
+one forward pass serves the whole group.
+
+``vectorize_corpus`` turns analyzed plans into :class:`VectorizedPlan`
+rows (features + per-operator labels, preorder-indexed);
+``group_by_structure`` partitions them into :class:`StructureGroup`
+equivalence classes, each with stacked feature/label matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.featurize.featurizer import Featurizer
+from repro.plans.node import PlanNode
+from repro.plans.operators import LogicalType
+from repro.workload.generator import PlanSample
+
+
+@dataclass(frozen=True)
+class PlanGraph:
+    """The shared tree structure of one equivalence class."""
+
+    signature: str
+    types: tuple[LogicalType, ...]  # logical type per preorder position
+    children: tuple[tuple[int, ...], ...]  # child positions per position
+    postorder: tuple[int, ...]  # evaluation order (children first)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.types)
+
+    def depth_of(self, pos: int) -> int:
+        """Subtree depth below ``pos`` (1 for leaves)."""
+        kids = self.children[pos]
+        if not kids:
+            return 1
+        return 1 + max(self.depth_of(k) for k in kids)
+
+
+def plan_graph(root: PlanNode) -> PlanGraph:
+    """Extract the :class:`PlanGraph` of a single plan."""
+    nodes = list(root.preorder())
+    index = {id(node): i for i, node in enumerate(nodes)}
+    types = tuple(node.logical_type for node in nodes)
+    children = tuple(tuple(index[id(c)] for c in node.children) for node in nodes)
+    post = tuple(index[id(node)] for node in root.postorder())
+    return PlanGraph(root.structure_signature(), types, children, post)
+
+
+@dataclass
+class VectorizedPlan:
+    """One analyzed plan, featurized: the unit inputs and labels."""
+
+    graph: PlanGraph
+    features: list[np.ndarray]  # per position, shape (f_type,)
+    labels: np.ndarray  # per position: actual latency / scale
+    latency_ms: float
+    template_id: str
+
+
+def vectorize_plan(sample: PlanSample, featurizer: Featurizer) -> VectorizedPlan:
+    graph = plan_graph(sample.plan)
+    features = featurizer.transform_plan(sample.plan)
+    scale = featurizer.latency_scale_ms
+    labels = np.array(
+        [
+            (node.actual_total_ms if node.actual_total_ms is not None else 0.0) / scale
+            for node in sample.plan.preorder()
+        ]
+    )
+    return VectorizedPlan(graph, features, labels, sample.latency_ms, sample.template_id)
+
+
+def vectorize_corpus(
+    samples: Sequence[PlanSample], featurizer: Featurizer
+) -> list[VectorizedPlan]:
+    return [vectorize_plan(s, featurizer) for s in samples]
+
+
+@dataclass
+class StructureGroup:
+    """An equivalence class of structure-identical plans, stacked.
+
+    ``features[p]`` has shape ``(B, f_type(p))``; ``labels`` has shape
+    ``(B, n_nodes)``.
+    """
+
+    graph: PlanGraph
+    features: list[np.ndarray]
+    labels: np.ndarray
+
+    @property
+    def n_plans(self) -> int:
+        return self.labels.shape[0]
+
+    @property
+    def n_operators(self) -> int:
+        return self.labels.size
+
+
+def group_by_structure(plans: Sequence[VectorizedPlan]) -> list[StructureGroup]:
+    """Partition into equivalence classes c1..cn (paper §5.1.1)."""
+    buckets: dict[str, list[VectorizedPlan]] = {}
+    for plan in plans:
+        buckets.setdefault(plan.graph.signature, []).append(plan)
+    groups = []
+    for signature in sorted(buckets):
+        members = buckets[signature]
+        graph = members[0].graph
+        features = [
+            np.vstack([m.features[p] for m in members]) for p in range(graph.n_nodes)
+        ]
+        labels = np.vstack([m.labels for m in members])
+        groups.append(StructureGroup(graph, features, labels))
+    return groups
+
+
+def sample_batches(
+    plans: Sequence[VectorizedPlan],
+    batch_size: int,
+    rng: np.random.Generator,
+) -> list[list[VectorizedPlan]]:
+    """Simple random large batches (before in-batch structure grouping).
+
+    Random sampling keeps the gradient estimate unbiased; grouping happens
+    *inside* each batch (the paper's key point: grouping the whole corpus
+    into per-structure batches would bias the gradient).
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = rng.permutation(len(plans))
+    return [
+        [plans[i] for i in order[start : start + batch_size]]
+        for start in range(0, len(plans), batch_size)
+    ]

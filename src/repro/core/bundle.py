@@ -1,0 +1,55 @@
+"""Model bundles: one directory holding everything a prediction needs.
+
+A trained QPP Net is three things — unit weights, the fitted featurizer
+(vocabularies + whitening + latency scale) and the hyperparameter config.
+``save_bundle`` / ``load_bundle`` round-trip all three, so a model
+trained on one machine predicts identically on another:
+
+    save_bundle(model, "artifacts/qppnet-tpch")
+    model = load_bundle("artifacts/qppnet-tpch")
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Union
+
+from repro.featurize.serialize import featurizer_from_dict, featurizer_to_dict
+
+from .config import QPPNetConfig
+from .model import QPPNet
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+WEIGHTS_FILE = "weights.npz"
+FEATURIZER_FILE = "featurizer.json"
+CONFIG_FILE = "config.json"
+
+
+def save_bundle(model: QPPNet, directory: PathLike) -> str:
+    """Persist ``model`` (weights + featurizer + config) under ``directory``."""
+    directory = str(directory)
+    os.makedirs(directory, exist_ok=True)
+    model.save(os.path.join(directory, WEIGHTS_FILE))
+    with open(os.path.join(directory, FEATURIZER_FILE), "w") as handle:
+        json.dump(featurizer_to_dict(model.featurizer), handle)
+    with open(os.path.join(directory, CONFIG_FILE), "w") as handle:
+        json.dump(dataclasses.asdict(model.config), handle)
+    return directory
+
+
+def load_bundle(directory: PathLike) -> QPPNet:
+    """Rebuild a model saved by :func:`save_bundle`."""
+    directory = str(directory)
+    for required in (WEIGHTS_FILE, FEATURIZER_FILE, CONFIG_FILE):
+        if not os.path.exists(os.path.join(directory, required)):
+            raise FileNotFoundError(f"bundle at {directory} is missing {required}")
+    with open(os.path.join(directory, FEATURIZER_FILE)) as handle:
+        featurizer = featurizer_from_dict(json.load(handle))
+    with open(os.path.join(directory, CONFIG_FILE)) as handle:
+        config = QPPNetConfig(**json.load(handle))
+    model = QPPNet(featurizer, config)
+    model.load(os.path.join(directory, WEIGHTS_FILE))
+    return model

@@ -1,0 +1,68 @@
+"""QPP Net hyperparameters.
+
+Paper defaults (§6 "Neural networks"): 5 hidden layers of 128 neurons per
+unit, data vector size d=32, ReLU activations, SGD with learning rate
+0.001 and momentum 0.9, 1000 epochs.  ``QPPNetConfig.paper()`` returns
+exactly that; the library default is a scaled-down configuration that
+trains in minutes on CPU while preserving every qualitative behaviour
+(see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Training-optimization modes (§5.1, ablated in Figure 9a).
+TRAINING_MODES = ("naive", "batching", "info_sharing", "both")
+
+
+@dataclass(frozen=True)
+class QPPNetConfig:
+    """Hyperparameters for QPP Net's units and training loop."""
+
+    hidden_layers: int = 3
+    neurons: int = 64
+    data_size: int = 16  # d: opaque data-vector width (paper: 32)
+    activation: str = "relu"
+    optimizer: str = "sgd"
+    lr: float = 0.001
+    momentum: float = 0.9
+    loss: str = "mse"  # 'mse' or 'rmse' (paper Eq. 7; same minimizer)
+    epochs: int = 120
+    batch_size: int = 256
+    mode: str = "both"  # training optimization mode (§5.1)
+    grad_clip: float = 100.0
+    lr_decay_every: int = 0  # epochs between LR decays (0 disables)
+    lr_decay_gamma: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hidden_layers < 0:
+            raise ValueError("hidden_layers must be >= 0")
+        if self.neurons <= 0:
+            raise ValueError("neurons must be positive")
+        if self.data_size < 0:
+            raise ValueError("data_size must be >= 0")
+        if self.mode not in TRAINING_MODES:
+            raise ValueError(f"mode must be one of {TRAINING_MODES}")
+        if self.loss not in ("mse", "rmse"):
+            raise ValueError("loss must be 'mse' or 'rmse'")
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+
+    @classmethod
+    def paper(cls) -> "QPPNetConfig":
+        """The exact §6 configuration."""
+        return cls(
+            hidden_layers=5,
+            neurons=128,
+            data_size=32,
+            lr=0.001,
+            momentum=0.9,
+            epochs=1000,
+            loss="rmse",
+        )
+
+    def with_(self, **kwargs) -> "QPPNetConfig":
+        """Functional update (e.g. ``cfg.with_(neurons=256)``)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,138 @@
+"""QPP Net: plan-structured neural network (paper §4.2).
+
+Assembles the per-operator :class:`~repro.core.unit.NeuralUnit` instances
+into a tree isomorphic to any given plan.  The same unit object serves
+every instance of its operator type (weight sharing, §4.3), so the model
+is a recursive/recurrent network over plan trees.
+
+Two forward strategies implement the §5.1.2 ablation:
+
+* :meth:`forward_group` — bottom-up with caching ("information sharing"):
+  each node's output is computed once and reused by both its parent's
+  input and its own loss term.
+* :meth:`forward_subtree_uncached` — the naive strawman: evaluating an
+  operator's output recomputes its whole subtree, so a plan's loss does
+  O(n · depth) unit evaluations instead of O(n).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro import nn
+from repro.featurize.featurizer import Featurizer
+from repro.plans.node import PlanNode
+from repro.plans.operators import LogicalType
+
+from .batching import StructureGroup, plan_graph
+from .config import QPPNetConfig
+from .unit import NeuralUnit
+
+#: Floor for reported predictions: latencies are positive quantities and
+#: ratio metrics (R) need a positive denominator.
+MIN_PREDICTION_MS = 0.01
+
+
+class QPPNet(nn.Module):
+    """The paper's model: one neural unit per operator type + tree assembly."""
+
+    def __init__(self, featurizer: Featurizer, config: Optional[QPPNetConfig] = None) -> None:
+        self.featurizer = featurizer
+        self.config = config or QPPNetConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.units: dict[LogicalType, NeuralUnit] = {}
+        for ltype, feature_size in sorted(
+            featurizer.feature_sizes().items(), key=lambda kv: kv[0].value
+        ):
+            self.units[ltype] = NeuralUnit(
+                ltype,
+                feature_size,
+                self.config.data_size,
+                self.config.hidden_layers,
+                self.config.neurons,
+                rng=rng,
+                activation=self.config.activation,
+            )
+
+    # ------------------------------------------------------------------
+    # Parameter plumbing (units live in a dict, so enumerate explicitly)
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = ""):
+        for ltype, unit in self.units.items():
+            yield from unit.named_parameters(prefix=f"{prefix}unit.{ltype.value}.")
+
+    # ------------------------------------------------------------------
+    # Forward passes
+    # ------------------------------------------------------------------
+    def forward_group(self, group: StructureGroup) -> dict[int, nn.Tensor]:
+        """Cached bottom-up evaluation of a structure group (§5.1.2).
+
+        Returns ``{preorder position -> (B, d+1) output tensor}``.
+        """
+        outputs: dict[int, nn.Tensor] = {}
+        graph = group.graph
+        for pos in graph.postorder:
+            unit = self.units[graph.types[pos]]
+            features = nn.Tensor(group.features[pos])
+            children = [outputs[c] for c in graph.children[pos]]
+            outputs[pos] = unit(unit.assemble_input(features, children))
+        return outputs
+
+    def forward_subtree_uncached(self, group: StructureGroup, pos: int) -> nn.Tensor:
+        """Naive evaluation of one operator's output, recomputing the subtree."""
+        graph = group.graph
+        unit = self.units[graph.types[pos]]
+        features = nn.Tensor(group.features[pos])
+        children = [
+            self.forward_subtree_uncached(group, c) for c in graph.children[pos]
+        ]
+        return unit(unit.assemble_input(features, children))
+
+    def group_latencies(self, outputs: dict[int, nn.Tensor]) -> dict[int, nn.Tensor]:
+        """Slice the latency element (first output) per position: (B, 1)."""
+        return {pos: out[:, :1] for pos, out in outputs.items()}
+
+    # ------------------------------------------------------------------
+    # Inference API
+    # ------------------------------------------------------------------
+    def predict(self, plan: PlanNode) -> float:
+        """Predicted query latency (ms) — the root unit's latency output."""
+        return self.predict_operators(plan)[0]
+
+    def predict_operators(self, plan: PlanNode) -> list[float]:
+        """Predicted latency (ms) of every operator, preorder-indexed."""
+        group = self._singleton_group(plan)
+        outputs = self.forward_group(group)
+        scale = self.featurizer.latency_scale_ms
+        return [
+            max(MIN_PREDICTION_MS, float(outputs[pos].data[0, 0]) * scale)
+            for pos in range(group.graph.n_nodes)
+        ]
+
+    def _singleton_group(self, plan: PlanNode) -> StructureGroup:
+        graph = plan_graph(plan)
+        features = [f.reshape(1, -1) for f in self.featurizer.transform_plan(plan)]
+        labels = np.zeros((1, graph.n_nodes))
+        return StructureGroup(graph, features, labels)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, "np.os.PathLike"]) -> None:
+        nn.save_module(self, path)
+
+    def load(self, path: Union[str, "np.os.PathLike"]) -> "QPPNet":
+        nn.load_module(self, path)
+        return self
+
+    def num_parameters(self) -> int:
+        return sum(unit.num_parameters() for unit in self.units.values())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{lt.value}:{unit.in_features}->{unit.data_size + 1}"
+            for lt, unit in self.units.items()
+        )
+        return f"QPPNet({inner})"

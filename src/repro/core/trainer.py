@@ -1,0 +1,208 @@
+"""QPP Net training (paper §5).
+
+Implements Eq. 7 — minimize the L2 error of the latency prediction of
+*every operator instance* in the training corpus — under the four
+optimization modes ablated in Figure 9a:
+
+``naive``
+    per-plan processing, and each operator's loss term recomputes its
+    entire subtree (no caching, no vectorization);
+``batching``
+    plan-based batch training (§5.1.1): plans grouped by structure inside
+    each random batch and vectorized, but subtrees still recomputed per
+    loss term;
+``info_sharing``
+    subtree caching (§5.1.2): each plan evaluated bottom-up once, but one
+    plan at a time;
+``both``
+    batching + caching — the configuration the paper trains with.
+
+All modes optimize the same objective; they differ only in how much
+redundant computation the loss evaluation performs, which is exactly
+what Figure 9a measures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.nn import functional as F
+from repro.workload.generator import PlanSample
+
+from .batching import (
+    StructureGroup,
+    VectorizedPlan,
+    group_by_structure,
+    sample_batches,
+    vectorize_corpus,
+)
+from .config import QPPNetConfig
+from .model import QPPNet
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of a training run."""
+
+    epochs: list[int] = field(default_factory=list)
+    train_loss: list[float] = field(default_factory=list)
+    wall_clock_s: list[float] = field(default_factory=list)  # cumulative
+    eval_epochs: list[int] = field(default_factory=list)
+    eval_values: list[float] = field(default_factory=list)
+
+    @property
+    def total_time_s(self) -> float:
+        return self.wall_clock_s[-1] if self.wall_clock_s else 0.0
+
+    @property
+    def final_loss(self) -> float:
+        return self.train_loss[-1] if self.train_loss else float("nan")
+
+
+def _singleton(plan: VectorizedPlan) -> StructureGroup:
+    return StructureGroup(
+        plan.graph,
+        [f.reshape(1, -1) for f in plan.features],
+        plan.labels.reshape(1, -1),
+    )
+
+
+class Trainer:
+    """Gradient-descent training of a :class:`QPPNet`."""
+
+    def __init__(self, model: QPPNet, config: Optional[QPPNetConfig] = None) -> None:
+        self.model = model
+        self.config = config or model.config
+        self.optimizer = nn.make_optimizer(
+            self.config.optimizer,
+            model.parameters(),
+            lr=self.config.lr,
+            momentum=self.config.momentum,
+        )
+
+    # ------------------------------------------------------------------
+    # Loss assembly
+    # ------------------------------------------------------------------
+    def _group_sse_cached(self, group: StructureGroup) -> nn.Tensor:
+        """Sum of squared per-operator errors with subtree caching."""
+        outputs = self.model.forward_group(group)
+        terms = []
+        for pos in range(group.graph.n_nodes):
+            pred = outputs[pos][:, :1]
+            target = nn.Tensor(group.labels[:, pos : pos + 1])
+            diff = pred - target
+            terms.append((diff * diff).sum())
+        total = terms[0]
+        for term in terms[1:]:
+            total = total + term
+        return total
+
+    def _group_sse_uncached(self, group: StructureGroup) -> nn.Tensor:
+        """Sum of squared errors, recomputing each operator's subtree."""
+        terms = []
+        for pos in range(group.graph.n_nodes):
+            out = self.model.forward_subtree_uncached(group, pos)
+            pred = out[:, :1]
+            target = nn.Tensor(group.labels[:, pos : pos + 1])
+            diff = pred - target
+            terms.append((diff * diff).sum())
+        total = terms[0]
+        for term in terms[1:]:
+            total = total + term
+        return total
+
+    def batch_loss(self, batch: Sequence[VectorizedPlan]) -> nn.Tensor:
+        """Eq. 7 over one random batch, honouring the configured mode."""
+        mode = self.config.mode
+        if mode in ("both", "batching"):
+            groups = group_by_structure(batch)
+        else:  # per-plan processing
+            groups = [_singleton(plan) for plan in batch]
+        sse_fn = (
+            self._group_sse_cached
+            if mode in ("both", "info_sharing")
+            else self._group_sse_uncached
+        )
+        total_ops = sum(g.n_operators for g in groups)
+        total = sse_fn(groups[0])
+        for group in groups[1:]:
+            total = total + sse_fn(group)
+        mse = total * (1.0 / max(1, total_ops))
+        if self.config.loss == "rmse":
+            return F.sqrt(mse + 1e-12)
+        return mse
+
+    # ------------------------------------------------------------------
+    # Fit loop
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        samples: Sequence[PlanSample],
+        epochs: Optional[int] = None,
+        eval_fn: Optional[Callable[[QPPNet], float]] = None,
+        eval_every: int = 0,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train on analyzed plans; returns the per-epoch history.
+
+        ``eval_fn(model)`` (e.g. test-set MAE) is recorded every
+        ``eval_every`` epochs — used by the Figure 9b/9c convergence
+        experiment.
+        """
+        epochs = epochs if epochs is not None else self.config.epochs
+        corpus = vectorize_corpus(samples, self.model.featurizer)
+        rng = np.random.default_rng(self.config.seed + 7)
+        scheduler = None
+        if self.config.lr_decay_every and hasattr(self.optimizer, "lr"):
+            scheduler = nn.StepLR(
+                self.optimizer, self.config.lr_decay_every, self.config.lr_decay_gamma
+            )
+        history = TrainingHistory()
+        start = time.perf_counter()
+        for epoch in range(1, epochs + 1):
+            epoch_losses = []
+            for batch in sample_batches(corpus, self.config.batch_size, rng):
+                loss = self.batch_loss(batch)
+                self.optimizer.zero_grad()
+                loss.backward()
+                if self.config.grad_clip:
+                    self.optimizer.clip_grad_norm(self.config.grad_clip)
+                self.optimizer.step()
+                epoch_losses.append(loss.item())
+            if scheduler is not None:
+                scheduler.step()
+            history.epochs.append(epoch)
+            history.train_loss.append(float(np.mean(epoch_losses)))
+            history.wall_clock_s.append(time.perf_counter() - start)
+            if eval_fn is not None and eval_every and epoch % eval_every == 0:
+                history.eval_epochs.append(epoch)
+                history.eval_values.append(float(eval_fn(self.model)))
+            if verbose:
+                print(
+                    f"epoch {epoch:4d}  loss={history.train_loss[-1]:.5f}  "
+                    f"t={history.wall_clock_s[-1]:.1f}s"
+                )
+        return history
+
+
+def train_qppnet(
+    samples: Sequence[PlanSample],
+    featurizer=None,
+    config: Optional[QPPNetConfig] = None,
+    **fit_kwargs,
+) -> tuple[QPPNet, TrainingHistory]:
+    """One-call convenience: fit featurizer (if needed), build, train."""
+    from repro.featurize.featurizer import Featurizer
+
+    config = config or QPPNetConfig()
+    if featurizer is None:
+        featurizer = Featurizer().fit([s.plan for s in samples])
+    model = QPPNet(featurizer, config)
+    trainer = Trainer(model, config)
+    history = trainer.fit(samples, **fit_kwargs)
+    return model, history

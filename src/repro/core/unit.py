@@ -1,0 +1,88 @@
+"""Operator-level neural units (paper §4.1).
+
+A :class:`NeuralUnit` models one logical operator type.  Its input is the
+operator's feature vector ``F(op)`` concatenated with the ``(latency,
+data-vector)`` outputs of its children (zero-padded to the type's fixed
+arity); its output is a ``(d+1)``-vector whose first element is the
+latency prediction and whose remaining ``d`` elements are the opaque data
+vector consumed by the parent unit (Eq. 5/6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.nn import functional as F
+from repro.plans.operators import LogicalType, arity_of
+
+
+class NeuralUnit(nn.Module):
+    """One operator type's neural network ``N_A``."""
+
+    def __init__(
+        self,
+        logical_type: LogicalType,
+        feature_size: int,
+        data_size: int,
+        hidden_layers: int,
+        neurons: int,
+        rng: Optional[np.random.Generator] = None,
+        activation: str = "relu",
+    ) -> None:
+        if feature_size < 0:
+            raise ValueError("feature_size must be >= 0")
+        self.logical_type = logical_type
+        self.feature_size = feature_size
+        self.data_size = data_size
+        self.arity = arity_of(logical_type)
+        self.in_features = feature_size + self.arity * (data_size + 1)
+        if self.in_features == 0:
+            raise ValueError(f"unit {logical_type} has an empty input vector")
+        self.net = nn.mlp(
+            self.in_features,
+            [neurons] * hidden_layers,
+            data_size + 1,
+            rng=rng,
+            activation=activation,
+        )
+
+    # ------------------------------------------------------------------
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        """Map a ``(B, in_features)`` batch to ``(B, d+1)`` outputs."""
+        if x.data.shape[-1] != self.in_features:
+            raise ValueError(
+                f"{self.logical_type.value} unit expected width {self.in_features}, "
+                f"got {x.data.shape[-1]}"
+            )
+        return self.net(x)
+
+    def assemble_input(
+        self, features: nn.Tensor, child_outputs: list[nn.Tensor]
+    ) -> nn.Tensor:
+        """``F(op) ⌢ p_child1 ⌢ ... ⌢ p_childk`` with zero padding.
+
+        ``features``: (B, feature_size); each child output: (B, d+1).
+        Missing children (unary ops under a binary-arity type never occur,
+        but leaves of unary types do) are padded with zeros so the input
+        width stays fixed per type.
+        """
+        if len(child_outputs) > self.arity:
+            raise ValueError(
+                f"{self.logical_type.value} unit got {len(child_outputs)} children, "
+                f"arity is {self.arity}"
+            )
+        parts = [features]
+        parts.extend(child_outputs)
+        batch = features.data.shape[0]
+        for _ in range(self.arity - len(child_outputs)):
+            parts.append(nn.Tensor(np.zeros((batch, self.data_size + 1))))
+        return F.concat(parts, axis=1) if len(parts) > 1 else features
+
+    def __repr__(self) -> str:
+        return (
+            f"NeuralUnit({self.logical_type.value}, in={self.in_features}, "
+            f"d={self.data_size}, params={self.num_parameters()})"
+        )

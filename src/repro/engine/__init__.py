@@ -1,0 +1,6 @@
+"""Execution simulator substrate: hardware profile + ground-truth engine."""
+
+from .config import HardwareProfile
+from .simulator import Simulator
+
+__all__ = ["HardwareProfile", "Simulator"]

@@ -1,0 +1,214 @@
+"""Execution simulator: the reproduction's ground-truth substrate.
+
+Walks a planned tree bottom-up and computes each operator's *true*
+latency from true cardinalities (``node.truth``), the hardware profile,
+per-relation device factors, memory spills and log-normal noise — then
+writes ``actual_rows`` / ``actual_total_ms`` onto every node, exactly the
+signal the paper collects with ``EXPLAIN ANALYZE`` (each node's actual
+time is inclusive of its subtree, so the root's time is the query
+latency).
+
+Behavioural effects modelled (each one is a reason a learned model can
+beat the optimizer's cost estimate):
+
+* cold-cache I/O — scans pay per-page costs scaled by a *per-relation
+  device factor* the cost model does not know;
+* memory spills — sorts and hash builds that exceed ``work_mem`` switch
+  to external algorithms with extra I/O passes (driven by *true* rather
+  than estimated sizes);
+* nested-loop blowups — pair-wise cost explodes when the optimizer
+  underestimated the outer cardinality;
+* hash-collision degradation — probe cost grows when the build side
+  overflows the bucket array sized from the *estimated* cardinality;
+* per-operator and per-query log-normal noise — the irreducible error
+  floor every predictor shares.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.catalog.schema import PAGE_SIZE_BYTES
+from repro.plans.node import PlanNode
+from repro.plans.operators import PhysicalOp
+
+from .config import HardwareProfile
+
+
+class Simulator:
+    """Executes plans against a :class:`HardwareProfile`."""
+
+    def __init__(self, profile: Optional[HardwareProfile] = None) -> None:
+        self.profile = profile or HardwareProfile()
+
+    # ------------------------------------------------------------------
+    def execute(self, root: PlanNode, rng: Optional[np.random.Generator] = None) -> float:
+        """Simulate ``root``; annotate actuals; return query latency (ms).
+
+        ``rng`` drives the run-to-run noise.  Pass a seeded generator for
+        reproducible corpora; ``None`` executes noise-free.
+        """
+        profile = self.profile
+        query_factor = 1.0
+        if rng is not None and profile.query_noise_sigma > 0:
+            query_factor = float(np.exp(rng.normal(0.0, profile.query_noise_sigma)))
+
+        for node in root.postorder():
+            self_ms = self._self_time_ms(node)
+            if rng is not None and profile.node_noise_sigma > 0:
+                self_ms *= float(np.exp(rng.normal(0.0, profile.node_noise_sigma)))
+            self_ms *= query_factor
+            node.truth["self_ms"] = self_ms
+            children_ms = sum(c.actual_total_ms or 0.0 for c in node.children)
+            node.actual_total_ms = self_ms + children_ms
+            node.actual_rows = float(node.truth.get("true_rows", node.props.get("Plan Rows", 0.0)))
+        assert root.actual_total_ms is not None
+        return root.actual_total_ms
+
+    # ------------------------------------------------------------------
+    # Per-operator models
+    # ------------------------------------------------------------------
+    def _self_time_ms(self, node: PlanNode) -> float:
+        op = node.op
+        if op is PhysicalOp.SEQ_SCAN:
+            return self._seq_scan_ms(node)
+        if op is PhysicalOp.INDEX_SCAN:
+            return self._index_scan_ms(node)
+        if op is PhysicalOp.HASH:
+            return self._hash_build_ms(node)
+        if op is PhysicalOp.HASH_JOIN:
+            return self._hash_join_ms(node)
+        if op is PhysicalOp.MERGE_JOIN:
+            return self._merge_join_ms(node)
+        if op is PhysicalOp.NESTED_LOOP:
+            return self._nested_loop_ms(node)
+        if op is PhysicalOp.SORT:
+            return self._sort_ms(node)
+        if op is PhysicalOp.AGGREGATE:
+            return self._aggregate_ms(node)
+        if op is PhysicalOp.MATERIALIZE:
+            return self._materialize_ms(node)
+        if op is PhysicalOp.LIMIT:
+            return self._limit_ms(node)
+        raise ValueError(f"unknown operator {op}")  # pragma: no cover
+
+    @staticmethod
+    def _true_rows(node: PlanNode) -> float:
+        return float(node.truth.get("true_rows", node.props.get("Plan Rows", 0.0)))
+
+    def _seq_scan_ms(self, node: PlanNode) -> float:
+        p = self.profile
+        factor = p.device_factor(node.props["Relation Name"])
+        pages = float(node.truth.get("table_pages", node.props.get("Estimated I/Os", 1.0)))
+        base_rows = float(node.truth.get("base_rows", self._true_rows(node)))
+        n_preds = int(node.truth.get("n_predicates", 0))
+        io = pages * p.seq_page_ms * factor
+        cpu = base_rows * p.cpu_tuple_ms + base_rows * n_preds * p.cpu_pred_ms
+        return io + cpu
+
+    def _index_scan_ms(self, node: PlanNode) -> float:
+        p = self.profile
+        factor = p.device_factor(node.props["Relation Name"])
+        rows = self._true_rows(node)
+        base_rows = float(node.truth.get("base_rows", rows))
+        table_pages = float(node.truth.get("table_pages", 1.0))
+        height = max(1.0, math.log2(max(2.0, base_rows)) / 8.0)
+        descent = height * p.rand_page_ms
+        if node.truth.get("clustered", False):
+            frac = rows / max(1.0, base_rows)
+            heap = max(1.0, frac * table_pages) * p.seq_page_ms * 1.2 * factor
+        else:
+            heap = min(rows, table_pages) * p.rand_page_ms * factor
+        cpu = rows * p.cpu_tuple_ms
+        return descent + heap + cpu
+
+    def _spill_ms(self, data_bytes: float, passes_model: str = "sort") -> float:
+        """Extra I/O once a memory-bounded operator exceeds work_mem."""
+        p = self.profile
+        if data_bytes <= p.work_mem_bytes:
+            return 0.0
+        pages = data_bytes / PAGE_SIZE_BYTES
+        if passes_model == "sort":
+            merge_order = max(2.0, p.work_mem_bytes / PAGE_SIZE_BYTES / 2.0)
+            passes = max(1.0, math.ceil(math.log(data_bytes / p.work_mem_bytes, merge_order)))
+        else:  # hash / materialize: single spill round-trip of overflow share
+            batches = math.ceil(data_bytes / p.work_mem_bytes)
+            passes = (batches - 1) / batches
+        return 2.0 * pages * passes * p.seq_page_ms
+
+    def _hash_build_ms(self, node: PlanNode) -> float:
+        p = self.profile
+        rows = self._true_rows(node.children[0])
+        width = float(node.children[0].props.get("Plan Width", 8.0))
+        build = rows * p.hash_tuple_ms
+        spill = self._spill_ms(rows * width * 1.2, passes_model="hash")
+        return build + spill
+
+    def _hash_join_ms(self, node: PlanNode) -> float:
+        p = self.profile
+        outer, build_node = node.children[0], node.children[1]
+        outer_rows = self._true_rows(outer)
+        build_rows = self._true_rows(build_node.children[0]) if build_node.children else 0.0
+        buckets = float(build_node.props.get("Hash Buckets", 1024.0))
+        # Bucket array was sized from the *estimate*; true overflow causes
+        # collision chains that slow every probe.
+        collision = max(0.0, build_rows / max(1.0, buckets) - 1.0) * 0.8
+        probe = outer_rows * p.hash_tuple_ms * (1.0 + collision)
+        emit = self._true_rows(node) * p.cpu_tuple_ms
+        # Hybrid hash: outer side spills too when the build side batched.
+        build_width = float(build_node.props.get("Plan Width", 8.0))
+        outer_width = float(outer.props.get("Plan Width", 8.0))
+        spill = 0.0
+        if build_rows * build_width * 1.2 > p.work_mem_bytes:
+            spill = self._spill_ms(outer_rows * outer_width, passes_model="hash")
+        return probe + emit + spill
+
+    def _merge_join_ms(self, node: PlanNode) -> float:
+        p = self.profile
+        left = self._true_rows(node.children[0])
+        right = self._true_rows(node.children[1])
+        return (left + right) * p.sort_cmp_ms * 2.0 + self._true_rows(node) * p.cpu_tuple_ms
+
+    def _nested_loop_ms(self, node: PlanNode) -> float:
+        p = self.profile
+        outer = self._true_rows(node.children[0])
+        inner = self._true_rows(node.children[1])
+        pairs = outer * inner
+        return pairs * p.nl_pair_ms + self._true_rows(node) * p.cpu_tuple_ms
+
+    def _sort_ms(self, node: PlanNode) -> float:
+        p = self.profile
+        rows = self._true_rows(node.children[0])
+        width = float(node.props.get("Plan Width", 8.0))
+        if rows <= 1.0:
+            return p.sort_cmp_ms
+        top_n = node.truth.get("top_n")
+        if top_n is not None and top_n < rows:
+            return rows * math.log2(max(2.0, top_n)) * p.sort_cmp_ms
+        compare = rows * math.log2(max(2.0, rows)) * p.sort_cmp_ms
+        return compare + self._spill_ms(rows * width, passes_model="sort")
+
+    def _aggregate_ms(self, node: PlanNode) -> float:
+        p = self.profile
+        rows = self._true_rows(node.children[0])
+        groups = self._true_rows(node)
+        n_fns = int(node.truth.get("n_functions", 1))
+        strategy = node.props.get("Strategy", "plain")
+        transitions = rows * n_fns * p.agg_fn_ms
+        if strategy == "hashed":
+            return transitions + rows * p.hash_tuple_ms + groups * p.cpu_tuple_ms
+        if strategy == "sorted":
+            return transitions + rows * p.sort_cmp_ms + groups * p.cpu_tuple_ms
+        return transitions + p.cpu_tuple_ms
+
+    def _materialize_ms(self, node: PlanNode) -> float:
+        p = self.profile
+        rows = self._true_rows(node.children[0])
+        width = float(node.props.get("Plan Width", 8.0))
+        return rows * p.cpu_tuple_ms * 0.3 + self._spill_ms(rows * width, passes_model="hash")
+
+    def _limit_ms(self, node: PlanNode) -> float:
+        return self._true_rows(node) * self.profile.cpu_tuple_ms * 0.1

@@ -1,0 +1,42 @@
+"""Evaluation: metrics (§6) and the shared train/score harness."""
+
+from .harness import (
+    MODEL_ORDER,
+    EvaluationResult,
+    evaluate_models,
+    mae_eval_fn,
+    predictions_of,
+    train_baselines,
+    train_qppnet_model,
+)
+from .per_operator import OperatorAccuracy, operator_level_accuracy
+from .metrics import (
+    AccuracySummary,
+    RBuckets,
+    mean_absolute_error,
+    r_buckets,
+    r_cdf,
+    r_values,
+    relative_error,
+    summarize,
+)
+
+__all__ = [
+    "relative_error",
+    "mean_absolute_error",
+    "r_values",
+    "r_buckets",
+    "r_cdf",
+    "RBuckets",
+    "AccuracySummary",
+    "summarize",
+    "EvaluationResult",
+    "evaluate_models",
+    "train_baselines",
+    "train_qppnet_model",
+    "predictions_of",
+    "mae_eval_fn",
+    "MODEL_ORDER",
+    "OperatorAccuracy",
+    "operator_level_accuracy",
+]

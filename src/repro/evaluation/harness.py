@@ -1,0 +1,117 @@
+"""Shared evaluation pipeline: train all four models on a dataset and
+score them — the engine behind Figure 7, Table 1 and Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.rbf import RBFPredictor
+from repro.baselines.svm import SVMPredictor
+from repro.baselines.tam import TAMPredictor
+from repro.core.config import QPPNetConfig
+from repro.core.model import QPPNet
+from repro.core.trainer import Trainer, TrainingHistory
+from repro.featurize.featurizer import Featurizer
+from repro.workload.dataset import Dataset
+from repro.workload.generator import PlanSample
+
+from .metrics import AccuracySummary, summarize
+
+MODEL_ORDER = ("TAM", "SVM", "RBF", "QPP Net")
+
+
+@dataclass
+class EvaluationResult:
+    """Everything the accuracy experiments report for one dataset."""
+
+    workload: str
+    summaries: dict[str, AccuracySummary]
+    predictions: dict[str, np.ndarray]
+    actuals: np.ndarray
+    test_templates: list[str]
+    qppnet_history: Optional[TrainingHistory] = None
+    models: dict[str, object] = field(default_factory=dict)
+
+    def table_rows(self) -> list[dict[str, object]]:
+        return [self.summaries[m].row() for m in MODEL_ORDER if m in self.summaries]
+
+
+def predictions_of(model, test: Sequence[PlanSample]) -> np.ndarray:
+    return np.array([model.predict(s.plan) for s in test])
+
+
+def train_baselines(train: Sequence[PlanSample], seed: int = 0) -> dict[str, object]:
+    """Fit TAM, SVM and RBF on a training corpus."""
+    return {
+        "TAM": TAMPredictor(seed=seed).fit(train),
+        "SVM": SVMPredictor(seed=seed).fit(train),
+        "RBF": RBFPredictor(seed=seed).fit(train),
+    }
+
+
+def train_qppnet_model(
+    train: Sequence[PlanSample],
+    config: Optional[QPPNetConfig] = None,
+    eval_fn: Optional[Callable[[QPPNet], float]] = None,
+    eval_every: int = 0,
+) -> tuple[QPPNet, TrainingHistory]:
+    config = config or QPPNetConfig()
+    featurizer = Featurizer().fit([s.plan for s in train])
+    model = QPPNet(featurizer, config)
+    trainer = Trainer(model, config)
+    history = trainer.fit(train, eval_fn=eval_fn, eval_every=eval_every)
+    return model, history
+
+
+def evaluate_models(
+    dataset: Dataset,
+    workload: str,
+    config: Optional[QPPNetConfig] = None,
+    seed: int = 0,
+    include: Sequence[str] = MODEL_ORDER,
+) -> EvaluationResult:
+    """Train every requested model on ``dataset.train``, score on ``.test``."""
+    actuals = np.array([s.latency_ms for s in dataset.test])
+    predictions: dict[str, np.ndarray] = {}
+    summaries: dict[str, AccuracySummary] = {}
+    models: dict[str, object] = {}
+    history = None
+
+    baseline_names = [m for m in include if m != "QPP Net"]
+    if baseline_names:
+        fitted = train_baselines(dataset.train, seed=seed)
+        for name in baseline_names:
+            models[name] = fitted[name]
+            predictions[name] = predictions_of(fitted[name], dataset.test)
+            summaries[name] = summarize(name, workload, actuals, predictions[name])
+
+    if "QPP Net" in include:
+        model, history = train_qppnet_model(dataset.train, config)
+        models["QPP Net"] = model
+        predictions["QPP Net"] = predictions_of(model, dataset.test)
+        summaries["QPP Net"] = summarize("QPP Net", workload, actuals, predictions["QPP Net"])
+
+    return EvaluationResult(
+        workload=workload,
+        summaries=summaries,
+        predictions=predictions,
+        actuals=actuals,
+        test_templates=[s.template_id for s in dataset.test],
+        qppnet_history=history,
+        models=models,
+    )
+
+
+def mae_eval_fn(test: Sequence[PlanSample]) -> Callable[[QPPNet], float]:
+    """Per-epoch test-MAE probe used by the convergence experiment."""
+    actuals = np.array([s.latency_ms for s in test])
+
+    def probe(model: QPPNet) -> float:
+        preds = predictions_of(model, test)
+        return float(np.mean(np.abs(actuals - preds)))
+
+    return probe

@@ -1,0 +1,91 @@
+"""Bootstrap significance testing for model comparisons.
+
+The paper reports point estimates; a reproduction should also say whether
+"QPP Net beats RBF by X%" survives resampling of the test set.  This
+module provides paired bootstrap confidence intervals over any per-query
+metric, used by EXPERIMENTS.md and available to users comparing their own
+predictors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Paired-bootstrap comparison of two models on one metric."""
+
+    metric: str
+    model_a: str
+    model_b: str
+    observed_diff: float  # metric(a) - metric(b); negative = a better
+    ci_low: float
+    ci_high: float
+    p_better: float  # fraction of resamples where a beats b
+
+    @property
+    def significant(self) -> bool:
+        """True when the 95% CI excludes zero."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+    def row(self) -> dict[str, object]:
+        return {
+            "metric": self.metric,
+            "comparison": f"{self.model_a} vs {self.model_b}",
+            "observed_diff": round(self.observed_diff, 4),
+            "ci95": f"[{self.ci_low:.4f}, {self.ci_high:.4f}]",
+            "p_better": round(self.p_better, 3),
+            "significant": self.significant,
+        }
+
+
+def _relative_error(actual: np.ndarray, predicted: np.ndarray) -> float:
+    return float(np.mean(np.abs(actual - predicted) / actual))
+
+
+def paired_bootstrap(
+    actual: Sequence[float],
+    predicted_a: Sequence[float],
+    predicted_b: Sequence[float],
+    metric: Optional[Callable[[np.ndarray, np.ndarray], float]] = None,
+    metric_name: str = "relative_error",
+    model_a: str = "A",
+    model_b: str = "B",
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapResult:
+    """Paired bootstrap of ``metric(a) - metric(b)`` over test queries.
+
+    Resamples query indices with replacement, evaluating both models on
+    the same resample (paired design — the right test when both models
+    predict the same queries).
+    """
+    actual = np.asarray(actual, dtype=np.float64)
+    a = np.asarray(predicted_a, dtype=np.float64)
+    b = np.asarray(predicted_b, dtype=np.float64)
+    if not (actual.shape == a.shape == b.shape) or actual.ndim != 1:
+        raise ValueError("inputs must be equal-length 1-D arrays")
+    if len(actual) < 2:
+        raise ValueError("need at least 2 queries to bootstrap")
+    metric = metric or _relative_error
+
+    observed = metric(actual, a) - metric(actual, b)
+    rng = np.random.default_rng(seed)
+    n = len(actual)
+    diffs = np.empty(n_resamples)
+    for i in range(n_resamples):
+        idx = rng.integers(0, n, size=n)
+        diffs[i] = metric(actual[idx], a[idx]) - metric(actual[idx], b[idx])
+    return BootstrapResult(
+        metric=metric_name,
+        model_a=model_a,
+        model_b=model_b,
+        observed_diff=observed,
+        ci_low=float(np.percentile(diffs, 2.5)),
+        ci_high=float(np.percentile(diffs, 97.5)),
+        p_better=float(np.mean(diffs < 0.0)),
+    )

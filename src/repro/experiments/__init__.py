@@ -1,0 +1,35 @@
+"""Paper evaluation reproduction: one module per table/figure.
+
+============ ==========================================
+Experiment   Paper artifact
+============ ==========================================
+``fig7a``    Figure 7a — relative error + MAE
+``fig7b``    Figure 7b — cumulative error factors
+``table1``   Tables 1a/1b — R buckets
+``fig8``     Figure 8 — per-template MAE (hold-one-out)
+``fig9a``    Figure 9a — training-optimization ablation
+``fig9bc``   Figures 9b/9c — training convergence
+``fig10``    Figure 10 — neurons sweep
+``fig11``    Figure 11 — hidden-layers sweep
+``fig12``    Figure 12 — template latency distribution
+============ ==========================================
+"""
+
+from .context import SCALES, ExperimentContext, ExperimentScale, current_scale, global_context, qpp_config
+from .reporting import ExperimentReport, print_report, render_table
+from .runner import ALL_ORDER, EXPERIMENTS, run
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentScale",
+    "SCALES",
+    "current_scale",
+    "global_context",
+    "qpp_config",
+    "ExperimentReport",
+    "render_table",
+    "print_report",
+    "EXPERIMENTS",
+    "ALL_ORDER",
+    "run",
+]

@@ -1,0 +1,8 @@
+"""CLI entry point: ``python -m repro.experiments fig7a table1 ...``."""
+
+import sys
+
+from .runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

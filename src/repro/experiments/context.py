@@ -1,0 +1,167 @@
+"""Experiment scale presets and shared corpus/evaluation caching.
+
+The paper runs 20,000 queries per benchmark and trains for 1000 epochs on
+a GPU (~28 h).  Every claim we reproduce is relative, so experiments run
+at configurable scale:
+
+* ``smoke``   — seconds; used by the test suite.
+* ``default`` — minutes per experiment; used by the benchmarks.
+* ``full``    — tens of minutes per experiment; closest to the paper.
+
+Select with the ``REPRO_SCALE`` environment variable (default:
+``default``).  Corpora and trained-model evaluations are cached
+per-process so experiments that share inputs (Fig. 7 / Table 1 / Fig. 9b)
+pay for generation and training once.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import QPPNetConfig
+from repro.evaluation.harness import EvaluationResult, evaluate_models
+from repro.workload.dataset import Dataset, random_split, template_holdout_split
+from repro.workload.generator import PlanSample, Workbench
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs controlling experiment cost."""
+
+    name: str
+    n_queries_tpch: int
+    n_queries_tpcds: int
+    epochs: int
+    batch_size: int
+    sweep_epochs: int  # architecture sweeps (Figs. 10/11)
+    fold_epochs: int  # per-fold trainings (Fig. 8)
+    fold_queries: int  # corpus subsample for the per-fold trainings
+    n_folds: int
+    convergence_epochs: int  # Figs. 9b/9c
+    ablation_epochs: int  # Fig. 9a timing budget
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke",
+        n_queries_tpch=90,
+        n_queries_tpcds=140,
+        epochs=6,
+        batch_size=64,
+        sweep_epochs=3,
+        fold_epochs=4,
+        fold_queries=140,
+        n_folds=2,
+        convergence_epochs=6,
+        ablation_epochs=1,
+    ),
+    "default": ExperimentScale(
+        name="default",
+        n_queries_tpch=600,
+        n_queries_tpcds=2000,
+        epochs=150,
+        batch_size=128,
+        sweep_epochs=30,
+        fold_epochs=30,
+        fold_queries=800,
+        n_folds=4,
+        convergence_epochs=60,
+        ablation_epochs=2,
+    ),
+    "full": ExperimentScale(
+        name="full",
+        n_queries_tpch=2000,
+        n_queries_tpcds=2800,
+        epochs=250,
+        batch_size=256,
+        sweep_epochs=60,
+        fold_epochs=80,
+        fold_queries=2800,
+        n_folds=7,
+        convergence_epochs=120,
+        ablation_epochs=3,
+    ),
+}
+
+
+def current_scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_SCALE", "default")
+    if name not in SCALES:
+        raise ValueError(f"REPRO_SCALE must be one of {sorted(SCALES)}, got {name!r}")
+    return SCALES[name]
+
+
+def qpp_config(scale: ExperimentScale, **overrides) -> QPPNetConfig:
+    base = QPPNetConfig(
+        epochs=scale.epochs,
+        batch_size=scale.batch_size,
+        lr_decay_every=max(1, scale.epochs // 3),
+    )
+    return base.with_(**overrides) if overrides else base
+
+
+class ExperimentContext:
+    """Process-wide cache of corpora, splits and evaluation results."""
+
+    def __init__(self, scale: Optional[ExperimentScale] = None, seed: int = 0) -> None:
+        self.scale = scale or current_scale()
+        self.seed = seed
+        self._corpora: dict[str, list[PlanSample]] = {}
+        self._workbenches: dict[str, Workbench] = {}
+        self._datasets: dict[str, Dataset] = {}
+        self._accuracy: dict[str, EvaluationResult] = {}
+
+    # ------------------------------------------------------------------
+    def workbench(self, workload: str) -> Workbench:
+        if workload not in self._workbenches:
+            self._workbenches[workload] = Workbench(workload, scale_factor=1.0, seed=self.seed)
+        return self._workbenches[workload]
+
+    def corpus(self, workload: str) -> list[PlanSample]:
+        if workload not in self._corpora:
+            n = (
+                self.scale.n_queries_tpch
+                if workload == "tpch"
+                else self.scale.n_queries_tpcds
+            )
+            rng = np.random.default_rng(self.seed + 11)
+            self._corpora[workload] = self.workbench(workload).generate(n, rng=rng)
+        return self._corpora[workload]
+
+    def dataset(self, workload: str) -> Dataset:
+        """The paper's §6 split: random 10% (TPC-H), 10-template holdout (TPC-DS)."""
+        if workload not in self._datasets:
+            samples = self.corpus(workload)
+            rng = np.random.default_rng(self.seed + 13)
+            if workload == "tpch":
+                self._datasets[workload] = random_split(samples, 0.1, rng)
+            else:
+                self._datasets[workload] = template_holdout_split(samples, 10, rng)
+        return self._datasets[workload]
+
+    def accuracy(self, workload: str) -> EvaluationResult:
+        """Train all four models once per workload (Fig. 7 + Table 1)."""
+        if workload not in self._accuracy:
+            self._accuracy[workload] = evaluate_models(
+                self.dataset(workload),
+                workload="TPC-H" if workload == "tpch" else "TPC-DS",
+                config=qpp_config(self.scale),
+                seed=self.seed,
+            )
+        return self._accuracy[workload]
+
+
+_GLOBAL_CONTEXT: Optional[ExperimentContext] = None
+
+
+def global_context() -> ExperimentContext:
+    """The shared per-process context used by the benchmark suite."""
+    global _GLOBAL_CONTEXT
+    scale = current_scale()
+    if _GLOBAL_CONTEXT is None or _GLOBAL_CONTEXT.scale.name != scale.name:
+        _GLOBAL_CONTEXT = ExperimentContext(scale)
+    return _GLOBAL_CONTEXT

@@ -1,0 +1,126 @@
+"""Extension experiments beyond the paper's figures (DESIGN.md §6).
+
+Three studies the paper explicitly points to:
+
+* **optimizer** — "using other optimization methods besides stochastic
+  gradient descent, such as Adam, might speed up training.  We leave such
+  experiments to future work" (§6.2).  We run SGD vs. Adam head to head.
+* **data-vector size** — the opaque data channel is the architecture's
+  load-bearing novelty; ``d = 0`` reduces each unit to a latency-only
+  predictor whose parent sees just child latencies (an Akdere-style
+  composition).  Sweeping d quantifies the channel's value.
+* **cardinality injection** — §7: "a technique predicting operator
+  cardinalities could be easily integrated ... by inserting the
+  cardinality estimate of each operator into its neural unit's input
+  vector."  We inject an *oracle* cardinality (the simulator's true rows)
+  as an upper bound on what a perfect estimator would buy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.model import QPPNet
+from repro.core.trainer import Trainer
+from repro.evaluation.harness import predictions_of
+from repro.evaluation.metrics import relative_error
+from repro.featurize.featurizer import Featurizer
+from repro.plans.node import PlanNode
+
+from .context import ExperimentContext, global_context, qpp_config
+from .reporting import ExperimentReport
+
+
+def oracle_cardinality_feature(node: PlanNode) -> list[float]:
+    """Extra unit input: a perfect cardinality estimate (log-compressed)."""
+    true_rows = float(node.truth.get("true_rows", node.props.get("Plan Rows", 0.0)))
+    return [float(np.log1p(max(0.0, true_rows)))]
+
+
+def _score(context: ExperimentContext, config, featurizer=None, workload="tpch"):
+    dataset = context.dataset(workload)
+    if featurizer is None:
+        featurizer = Featurizer().fit([s.plan for s in dataset.train])
+    model = QPPNet(featurizer, config)
+    history = Trainer(model, config).fit(dataset.train)
+    actuals = np.array([s.latency_ms for s in dataset.test])
+    err = relative_error(actuals, predictions_of(model, dataset.test))
+    return err, history
+
+
+def run_ablations(context: Optional[ExperimentContext] = None) -> ExperimentReport:
+    context = context or global_context()
+    scale = context.scale
+    epochs = scale.sweep_epochs
+    rows = []
+
+    # 1. Optimizer: SGD (paper) vs Adam (paper's future work).
+    for name, overrides in (
+        ("SGD (paper)", {"optimizer": "sgd"}),
+        ("Adam", {"optimizer": "adam"}),
+    ):
+        err, history = _score(context, qpp_config(scale, epochs=epochs, **overrides))
+        rows.append(
+            {
+                "study": "optimizer",
+                "setting": name,
+                "test_rel_err_pct": round(100 * err, 1),
+                "final_train_loss": round(history.final_loss, 4),
+                "train_time_s": round(history.total_time_s, 1),
+            }
+        )
+
+    # 2. Data-vector width d (0 disables the opaque channel).
+    for d in (0, 4, scale_default_d(scale)):
+        err, history = _score(context, qpp_config(scale, epochs=epochs, data_size=d))
+        rows.append(
+            {
+                "study": "data_vector",
+                "setting": f"d={d}",
+                "test_rel_err_pct": round(100 * err, 1),
+                "final_train_loss": round(history.final_loss, 4),
+                "train_time_s": round(history.total_time_s, 1),
+            }
+        )
+
+    # 3. Oracle cardinality injection (§7 suggestion, upper bound).
+    dataset = context.dataset("tpch")
+    for name, featurizer in (
+        ("estimates only (paper)", Featurizer()),
+        ("+ oracle cardinalities", Featurizer(extra_numeric_fn=oracle_cardinality_feature)),
+    ):
+        featurizer.fit([s.plan for s in dataset.train])
+        err, history = _score(
+            context, qpp_config(scale, epochs=epochs), featurizer=featurizer
+        )
+        rows.append(
+            {
+                "study": "cardinality_injection",
+                "setting": name,
+                "test_rel_err_pct": round(100 * err, 1),
+                "final_train_loss": round(history.final_loss, 4),
+                "train_time_s": round(history.total_time_s, 1),
+            }
+        )
+
+    return ExperimentReport(
+        experiment_id="ablations",
+        title="Extension studies: optimizer choice, data-vector width, cardinality injection",
+        rows=rows,
+        paper_reference="§6.2 and §7/§8 future-work items",
+        notes=[
+            "d=0 removes the opaque data channel: parents see only child"
+            " latency predictions (Akdere-style composition).",
+            "Oracle cardinalities bound the benefit of plugging a perfect"
+            " cardinality estimator into the unit inputs (§7).",
+        ],
+    )
+
+
+def scale_default_d(scale) -> int:
+    """The default data-vector size at the current experiment scale."""
+    from repro.core.config import QPPNetConfig
+
+    return QPPNetConfig().data_size

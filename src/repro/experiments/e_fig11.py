@@ -1,0 +1,35 @@
+"""Figure 11: effect of the number of hidden layers on accuracy and time.
+
+Same protocol as Figure 10 with depth swept at fixed width.  Paper shape:
+accuracy climbs steeply up to ~the reference depth then flattens, while
+training time keeps growing roughly linearly per layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .context import ExperimentContext, global_context
+from .e_fig10 import _sweep
+from .reporting import ExperimentReport
+
+LAYER_SWEEP: tuple[int, ...] = (1, 2, 3, 4, 5, 6)
+REFERENCE_LAYERS = 3  # our scaled-down default (paper: 5)
+
+
+def run_fig11(context: Optional[ExperimentContext] = None) -> ExperimentReport:
+    context = context or global_context()
+    configs = [(str(n), {"hidden_layers": n}) for n in LAYER_SWEEP]
+    rows = _sweep(context, configs, reference_key=str(REFERENCE_LAYERS))
+    return ExperimentReport(
+        experiment_id="fig11",
+        title="Hidden layers vs. accuracy (relative to reference) and training time",
+        rows=rows,
+        paper_reference="Figure 11",
+        notes=[
+            f"Reference depth = {REFERENCE_LAYERS} hidden layers (paper: 5;"
+            " scaled with the rest of the default config).",
+            "Paper shape: large accuracy jumps for the first layers, then"
+            " diminishing returns while training time keeps growing.",
+        ],
+    )

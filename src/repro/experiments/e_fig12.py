@@ -1,0 +1,50 @@
+"""Figure 12 (Appendix A): mean query latency per TPC-DS template.
+
+Ground-truth statistics of the generated TPC-DS corpus: per-template mean
+latency (the paper plots it in minutes on a log scale).  Shape target: a
+heavy-tailed spread of several orders of magnitude across templates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+import numpy as np
+
+from .context import ExperimentContext, global_context
+from .reporting import ExperimentReport
+
+
+def run_fig12(context: Optional[ExperimentContext] = None) -> ExperimentReport:
+    context = context or global_context()
+    samples = context.corpus("tpcds")
+    buckets: dict[int, list[float]] = defaultdict(list)
+    for sample in samples:
+        number = int(sample.template_id.rsplit("q", 1)[-1])
+        buckets[number].append(sample.latency_ms)
+    rows = []
+    for number in sorted(buckets):
+        latencies = np.array(buckets[number])
+        rows.append(
+            {
+                "template": number,
+                "mean_latency_s": round(float(latencies.mean()) / 1000.0, 2),
+                "p50_s": round(float(np.median(latencies)) / 1000.0, 2),
+                "max_s": round(float(latencies.max()) / 1000.0, 2),
+                "n": len(latencies),
+            }
+        )
+    means = np.array([r["mean_latency_s"] for r in rows])
+    spread = float(means.max() / max(1e-9, means.min()))
+    return ExperimentReport(
+        experiment_id="fig12",
+        title="Mean latency per TPC-DS template (corpus ground truth)",
+        rows=rows,
+        paper_reference="Figure 12 (Appendix A)",
+        notes=[
+            f"{len(rows)} templates; heaviest/lightest mean-latency ratio"
+            f" = {spread:.0f}x (paper spans several orders of magnitude on"
+            " a log axis)."
+        ],
+    )

@@ -1,0 +1,89 @@
+"""Experiment reports: structured rows plus text-table rendering.
+
+Every experiment returns an :class:`ExperimentReport`; the benchmark
+harness prints it (so ``pytest benchmarks/`` regenerates the paper's
+tables on stdout) and can persist it as JSON under ``results/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass
+class ExperimentReport:
+    """One table/figure reproduction: id, rows, and provenance notes."""
+
+    experiment_id: str  # e.g. 'fig7a'
+    title: str
+    rows: list[dict[str, object]]
+    notes: list[str] = field(default_factory=list)
+    paper_reference: str = ""
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.paper_reference:
+            lines.append(f"   (paper: {self.paper_reference})")
+        lines.append(render_table(self.rows))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def save(self, directory: str) -> str:
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.experiment_id}.json")
+        with open(path, "w") as f:
+            json.dump(
+                {
+                    "experiment_id": self.experiment_id,
+                    "title": self.title,
+                    "paper_reference": self.paper_reference,
+                    "rows": self.rows,
+                    "notes": self.notes,
+                },
+                f,
+                indent=2,
+            )
+        return path
+
+
+def render_table(rows: Sequence[dict[str, object]], max_width: int = 28) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3g}" if abs(value) < 1000 else f"{value:.0f}"
+        return str(value)[:max_width]
+
+    widths = {c: len(c) for c in columns}
+    rendered = []
+    for row in rows:
+        cells = {c: fmt(row.get(c, "")) for c in columns}
+        for c in columns:
+            widths[c] = max(widths[c], len(cells[c]))
+        rendered.append(cells)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    sep = "  ".join("-" * widths[c] for c in columns)
+    body = [
+        "  ".join(cells[c].ljust(widths[c]) for c in columns) for cells in rendered
+    ]
+    return "\n".join([header, sep, *body])
+
+
+def print_report(report: ExperimentReport, save_dir: Optional[str] = None) -> None:
+    print()
+    print(report.render())
+    if save_dir is None:
+        save_dir = os.environ.get("REPRO_RESULTS_DIR", "")
+    if save_dir:
+        report.save(save_dir)

@@ -1,0 +1,77 @@
+"""Experiment registry and CLI.
+
+``python -m repro.experiments <id> [...]`` regenerates any table/figure;
+``python -m repro.experiments all`` runs the whole evaluation section.
+Scale via the ``REPRO_SCALE`` env var (smoke / default / full).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from .context import ExperimentContext, global_context
+from .e_ablations import run_ablations
+from .e_fig7 import run_fig7a, run_fig7b
+from .e_fig8 import run_fig8
+from .e_fig9a import run_fig9a
+from .e_fig9bc import run_fig9bc
+from .e_fig10 import run_fig10
+from .e_fig11 import run_fig11
+from .e_fig12 import run_fig12
+from .e_table1 import run_table1
+from .reporting import ExperimentReport, print_report
+
+EXPERIMENTS: dict[str, Callable[[Optional[ExperimentContext]], ExperimentReport]] = {
+    "fig7a": run_fig7a,
+    "fig7b": run_fig7b,
+    "table1": run_table1,
+    "fig8": run_fig8,
+    "fig9a": run_fig9a,
+    "fig9bc": run_fig9bc,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "ablations": run_ablations,
+}
+
+#: Cheap-first ordering for `all` (shares the cached accuracy runs).
+ALL_ORDER = (
+    "fig12", "fig7a", "fig7b", "table1", "fig9a", "fig9bc",
+    "fig10", "fig11", "fig8", "ablations",
+)
+
+
+def run(experiment_id: str, context: Optional[ExperimentContext] = None) -> ExperimentReport:
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(context)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument("--save-dir", default=None, help="directory for JSON results")
+    args = parser.parse_args(argv)
+
+    ids = list(args.experiments)
+    if ids == ["all"]:
+        ids = list(ALL_ORDER)
+    context = global_context()
+    print(f"[repro] scale preset: {context.scale.name}")
+    for experiment_id in ids:
+        report = run(experiment_id, context)
+        print_report(report, save_dir=args.save_dir)
+    return 0

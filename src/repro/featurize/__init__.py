@@ -1,0 +1,19 @@
+"""Appendix-B featurization: encoders, per-operator schemas, featurizer."""
+
+from .encoders import NumericWhitener, OneHotEncoder, encode_boolean
+from .featurizer import Featurizer
+from .schema import FEATURE_SCHEMAS, UNIVERSAL_NUMERIC, FeatureSchema, schema_for
+from .serialize import featurizer_from_dict, featurizer_to_dict
+
+__all__ = [
+    "NumericWhitener",
+    "OneHotEncoder",
+    "encode_boolean",
+    "Featurizer",
+    "FeatureSchema",
+    "FEATURE_SCHEMAS",
+    "UNIVERSAL_NUMERIC",
+    "schema_for",
+    "featurizer_to_dict",
+    "featurizer_from_dict",
+]

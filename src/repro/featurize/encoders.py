@@ -1,0 +1,105 @@
+"""Feature encoders matching the paper's Appendix B.
+
+Three encodings (Table 2):
+
+* **Numeric** — "scaled so that the mean of the value across the training
+  set is zero and the variance is one.  At inference time, the same
+  scaling values are used" (whitening).  Heavy-tailed quantities
+  (cardinalities, costs, I/Os) are passed through ``log1p`` first, which
+  is the standard companion transform.
+* **Boolean** — 0/1.
+* **One-hot** — categorical over a vocabulary fitted on the training set;
+  unseen values at inference encode as all-zeros.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+
+class NumericWhitener:
+    """Per-dimension standardization fitted on training data."""
+
+    def __init__(self, log_transform: bool = False) -> None:
+        self.log_transform = log_transform
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def _pre(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if self.log_transform:
+            values = np.log1p(np.maximum(values, 0.0))
+        return values
+
+    def fit(self, values: np.ndarray) -> "NumericWhitener":
+        """``values``: array of shape (n_samples, n_dims)."""
+        pre = self._pre(values)
+        if pre.ndim != 2:
+            raise ValueError("fit expects a 2-D array")
+        if len(pre) == 0:
+            raise ValueError("cannot fit whitener on empty data")
+        self.mean_ = pre.mean(axis=0)
+        std = pre.std(axis=0)
+        # Constant features whiten to zero rather than dividing by zero.
+        self.std_ = np.where(std < 1e-12, 1.0, std)
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("whitener is not fitted")
+        pre = self._pre(values)
+        return (pre - self.mean_) / self.std_
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean_ is not None
+
+
+class OneHotEncoder:
+    """Categorical one-hot over a fitted vocabulary.
+
+    The vocabulary may be fixed up front (closed categories like join
+    types) or accumulated from training data (relation names, sort keys).
+    Unseen categories transform to the all-zeros vector.
+    """
+
+    def __init__(self, vocabulary: Optional[Sequence[str]] = None) -> None:
+        self._index: dict[str, int] = {}
+        if vocabulary is not None:
+            for value in vocabulary:
+                self._index.setdefault(str(value), len(self._index))
+            self._frozen = True
+        else:
+            self._frozen = False
+
+    def fit(self, values: Iterable[object]) -> "OneHotEncoder":
+        if self._frozen:
+            return self
+        for value in values:
+            self._index.setdefault(str(value), len(self._index))
+        return self
+
+    @property
+    def size(self) -> int:
+        return len(self._index)
+
+    @property
+    def categories(self) -> list[str]:
+        return list(self._index)
+
+    def transform(self, value: object) -> np.ndarray:
+        out = np.zeros(self.size)
+        idx = self._index.get(str(value))
+        if idx is not None:
+            out[idx] = 1.0
+        return out
+
+
+def encode_boolean(value: object) -> np.ndarray:
+    """Boolean encoding.  Accepts bools and PostgreSQL-ish strings."""
+    if isinstance(value, str):
+        truthy = value.lower() in ("true", "t", "on", "forward", "yes", "1")
+        return np.array([1.0 if truthy else 0.0])
+    return np.array([1.0 if value else 0.0])

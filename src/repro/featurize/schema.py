@@ -1,0 +1,93 @@
+"""Per-operator feature schemas — a 1:1 transcription of paper Table 2.
+
+Each logical operator type (one neural unit each) declares which plan-node
+properties feed its input vector and with which encoding.  The first five
+numeric features ("All" rows of Table 2) appear in every unit; the
+remaining sections are operator-specific.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.optimizer.planner import N_ATTR_SLOTS
+from repro.plans.operators import (
+    AGGREGATE_STRATEGIES,
+    HASH_ALGORITHMS,
+    JOIN_TYPES,
+    PARENT_RELATIONSHIPS,
+    SORT_METHODS,
+    LogicalType,
+)
+
+#: Table 2 "All" section: included in every unit, numeric (whitened after
+#: log1p — these quantities span many orders of magnitude).
+UNIVERSAL_NUMERIC: tuple[str, ...] = (
+    "Plan Width",
+    "Plan Rows",
+    "Plan Buffers",
+    "Estimated I/Os",
+    "Total Cost",
+)
+
+
+@dataclass(frozen=True)
+class FeatureSchema:
+    """Feature layout of one operator type's input vector."""
+
+    logical_type: LogicalType
+    numeric_log: tuple[str, ...] = UNIVERSAL_NUMERIC  # log1p + whiten
+    numeric_raw: tuple[str, ...] = ()  # whiten only
+    vectors: tuple[tuple[str, int], ...] = ()  # (prop, length), whitened
+    fixed_onehots: tuple[tuple[str, tuple[str, ...]], ...] = ()  # closed vocab
+    learned_onehots: tuple[str, ...] = ()  # vocab fitted on training set
+    booleans: tuple[str, ...] = ()
+    physical_ops: tuple[str, ...] = ()  # one-hot over physical variants
+
+
+#: The full Table 2 transcription.
+FEATURE_SCHEMAS: dict[LogicalType, FeatureSchema] = {
+    LogicalType.SCAN: FeatureSchema(
+        LogicalType.SCAN,
+        vectors=(
+            ("Attribute Mins", N_ATTR_SLOTS),
+            ("Attribute Medians", N_ATTR_SLOTS),
+            ("Attribute Maxs", N_ATTR_SLOTS),
+        ),
+        learned_onehots=("Relation Name", "Index Name"),
+        booleans=("Scan Direction",),
+        physical_ops=("Seq Scan", "Index Scan"),
+    ),
+    LogicalType.JOIN: FeatureSchema(
+        LogicalType.JOIN,
+        fixed_onehots=(
+            ("Join Type", JOIN_TYPES),
+            ("Parent Relationship", PARENT_RELATIONSHIPS),
+        ),
+        physical_ops=("Hash Join", "Merge Join", "Nested Loop"),
+    ),
+    LogicalType.SORT: FeatureSchema(
+        LogicalType.SORT,
+        fixed_onehots=(("Sort Method", SORT_METHODS),),
+        learned_onehots=("Sort Key",),
+    ),
+    LogicalType.HASH: FeatureSchema(
+        LogicalType.HASH,
+        numeric_log=UNIVERSAL_NUMERIC + ("Hash Buckets",),
+        fixed_onehots=(("Hash Algorithm", HASH_ALGORITHMS),),
+    ),
+    LogicalType.AGGREGATE: FeatureSchema(
+        LogicalType.AGGREGATE,
+        fixed_onehots=(
+            ("Strategy", AGGREGATE_STRATEGIES),
+            ("Operator", ("sum", "avg", "count", "min", "max")),
+        ),
+        booleans=("Partial Mode",),
+    ),
+    LogicalType.MATERIALIZE: FeatureSchema(LogicalType.MATERIALIZE),
+    LogicalType.LIMIT: FeatureSchema(LogicalType.LIMIT),
+}
+
+
+def schema_for(logical_type: LogicalType) -> FeatureSchema:
+    return FEATURE_SCHEMAS[logical_type]

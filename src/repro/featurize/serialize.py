@@ -1,0 +1,73 @@
+"""Featurizer persistence.
+
+A fitted :class:`~repro.featurize.featurizer.Featurizer` carries state a
+trained model cannot work without: the one-hot vocabularies and the
+whitening statistics ("At inference time, the same scaling values are
+used" — Appendix B).  This module round-trips that state through plain
+JSON so a trained QPP Net can be shipped as weights + featurizer.
+
+The ``extra_numeric_fn`` hook (a function) is not serialized; loaders
+must re-attach it when using an extended featurizer.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.plans.operators import LogicalType
+
+from .encoders import NumericWhitener, OneHotEncoder
+from .featurizer import Featurizer
+
+FORMAT_VERSION = 1
+
+
+def featurizer_to_dict(featurizer: Featurizer) -> dict[str, Any]:
+    """Serialize a fitted featurizer to a JSON-compatible dict."""
+    if not featurizer._fitted:
+        raise ValueError("cannot serialize an unfitted featurizer")
+    whiteners = {}
+    for ltype, whitener in featurizer._whiteners.items():
+        whiteners[ltype.value] = {
+            "mean": whitener.mean_.tolist(),
+            "std": whitener.std_.tolist(),
+            "log_transform": whitener.log_transform,
+        }
+    onehots = {}
+    for (ltype, prop), encoder in featurizer._onehots.items():
+        onehots[f"{ltype.value}::{prop}"] = {
+            "categories": encoder.categories,
+            "frozen": encoder._frozen,
+        }
+    return {
+        "format_version": FORMAT_VERSION,
+        "latency_scale_ms": featurizer.latency_scale_ms,
+        "n_extra": featurizer._n_extra,
+        "whiteners": whiteners,
+        "onehots": onehots,
+    }
+
+
+def featurizer_from_dict(state: dict[str, Any]) -> Featurizer:
+    """Rebuild a fitted featurizer from :func:`featurizer_to_dict` output."""
+    version = state.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported featurizer format version: {version!r}")
+    featurizer = Featurizer()
+    featurizer.latency_scale_ms = float(state["latency_scale_ms"])
+    featurizer._n_extra = int(state.get("n_extra", 0))
+    for type_name, payload in state["whiteners"].items():
+        whitener = NumericWhitener(log_transform=bool(payload["log_transform"]))
+        whitener.mean_ = np.asarray(payload["mean"], dtype=np.float64)
+        whitener.std_ = np.asarray(payload["std"], dtype=np.float64)
+        featurizer._whiteners[LogicalType(type_name)] = whitener
+    for key, payload in state["onehots"].items():
+        type_name, _, prop = key.partition("::")
+        encoder = OneHotEncoder(payload["categories"] if payload["frozen"] else None)
+        if not payload["frozen"]:
+            encoder.fit(payload["categories"])
+        featurizer._onehots[(LogicalType(type_name), prop)] = encoder
+    featurizer._fitted = True
+    return featurizer

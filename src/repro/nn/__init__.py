@@ -1,0 +1,45 @@
+"""A from-scratch neural-network substrate (numpy reverse-mode autodiff).
+
+Replaces PyTorch for this reproduction: dynamic computation graphs, exact
+gradients, modules, optimizers and losses — everything QPP Net's
+plan-structured networks require.  See ``DESIGN.md`` §2 for the
+substitution rationale.
+"""
+
+from . import functional
+from .gradcheck import check_gradients, numerical_gradient
+from .layers import Lambda, Linear, Module, ReLU, Sequential, Sigmoid, Tanh, mlp
+from .loss import LOSSES, huber_loss, l1_loss, mse_loss, rmse_loss
+from .optim import SGD, Adam, Optimizer, StepLR, make_optimizer
+from .serialize import load_module, save_module
+from .tensor import Tensor, ones, tensor, zeros
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "Module",
+    "Linear",
+    "Sequential",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Lambda",
+    "mlp",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "StepLR",
+    "make_optimizer",
+    "mse_loss",
+    "rmse_loss",
+    "l1_loss",
+    "huber_loss",
+    "LOSSES",
+    "check_gradients",
+    "numerical_gradient",
+    "save_module",
+    "load_module",
+]

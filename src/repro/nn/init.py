@@ -1,0 +1,42 @@
+"""Weight initialization schemes.
+
+QPP Net's units start as "random activated affine transformations" (§5);
+we default to Kaiming-uniform initialization, the standard choice for
+ReLU networks (and PyTorch's default for ``nn.Linear``), with explicit
+seeding so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """PyTorch-style default init for a linear layer.
+
+    Returns ``(weight, bias)`` with ``weight`` of shape ``(fan_in, fan_out)``
+    (we use row-vector convention: ``y = x @ W + b``).
+    """
+    bound = np.sqrt(6.0 / fan_in) if fan_in > 0 else 0.0
+    weight = rng.uniform(-bound, bound, size=(fan_in, fan_out))
+    bias_bound = 1.0 / np.sqrt(fan_in) if fan_in > 0 else 0.0
+    bias = rng.uniform(-bias_bound, bias_bound, size=(fan_out,))
+    return weight, bias
+
+
+def xavier_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Glorot initialization, appropriate for tanh/sigmoid layers."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    weight = rng.uniform(-bound, bound, size=(fan_in, fan_out))
+    bias = np.zeros(fan_out)
+    return weight, bias
+
+
+INITIALIZERS = {
+    "kaiming": kaiming_uniform,
+    "xavier": xavier_uniform,
+}

@@ -1,0 +1,193 @@
+"""Neural-network modules: ``Module``, ``Linear``, ``Sequential``, activations.
+
+These mirror the PyTorch module API at the fidelity QPP Net needs: named
+parameters, composition, train/eval switching, and state dict export.
+A neural unit (paper §4.1) is a ``Sequential`` of ``Linear``+``ReLU``
+hidden layers plus a linear output layer; see :mod:`repro.core.unit`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from . import functional as F
+from .init import INITIALIZERS
+from .tensor import Tensor
+
+
+class Module:
+    """Base class providing parameter discovery and (de)serialization."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+    # ------------------------------------------------------------------
+    # Parameter traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Tensor]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{i}.")
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        yield f"{full}.{i}", item
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # State dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, param in params.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+
+class Linear(Module):
+    """Affine transformation ``y = x @ W + b`` (paper Eq. 1, row-vector form)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        init: str = "kaiming",
+        bias: bool = True,
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear layer dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        weight, bias_vec = INITIALIZERS[init](in_features, out_features, rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(weight, requires_grad=True, name="weight")
+        self.bias = Tensor(bias_vec, requires_grad=True, name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.data.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected input of width {self.in_features}, got {x.data.shape[-1]}"
+            )
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features} -> {self.out_features})"
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class Lambda(Module):
+    """Wrap a stateless differentiable function as a module."""
+
+    def __init__(self, fn: Callable[[Tensor], Tensor], label: str = "Lambda") -> None:
+        self.fn = fn
+        self.label = label
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fn(x)
+
+    def __repr__(self) -> str:
+        return f"{self.label}()"
+
+
+class Sequential(Module):
+    """Function composition of modules (paper Eq. 2)."""
+
+    def __init__(self, *modules: Module) -> None:
+        self.modules = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def append(self, module: Module) -> None:
+        self.modules.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(m) for m in self.modules)
+        return f"Sequential({inner})"
+
+
+def mlp(
+    in_features: int,
+    hidden_sizes: list[int],
+    out_features: int,
+    rng: Optional[np.random.Generator] = None,
+    activation: str = "relu",
+) -> Sequential:
+    """Build the hidden-layers-plus-output-layer stack used by neural units.
+
+    ``hidden_sizes`` gives the width of each hidden layer; the output layer
+    is a plain affine map (the latency/data-vector head stays linear, as in
+    the paper's Figure 2).
+    """
+    activations: dict[str, type[Module]] = {"relu": ReLU, "sigmoid": Sigmoid, "tanh": Tanh}
+    if activation not in activations:
+        raise ValueError(f"unknown activation {activation!r}")
+    act = activations[activation]
+    layers: list[Module] = []
+    width = in_features
+    for hidden in hidden_sizes:
+        layers.append(Linear(width, hidden, rng=rng))
+        layers.append(act())
+        width = hidden
+    layers.append(Linear(width, out_features, rng=rng))
+    return Sequential(*layers)

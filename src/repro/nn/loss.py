@@ -1,0 +1,48 @@
+"""Loss functions.
+
+The paper trains with L2 loss — root mean squared error over the latency
+predictions of *every operator* in the corpus (Eq. 3 / Eq. 7).  We provide
+RMSE exactly as written, plus MSE (the same minimizer, cheaper gradient),
+L1 and Huber for robustness experiments.
+"""
+
+from __future__ import annotations
+
+from . import functional as F
+from .tensor import Tensor
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def rmse_loss(prediction: Tensor, target: Tensor, eps: float = 1e-12) -> Tensor:
+    """Root mean squared error — the paper's Eq. 3 (and Eq. 7 over operators).
+
+    ``eps`` keeps the square root differentiable at zero loss.
+    """
+    return F.sqrt(mse_loss(prediction, target) + eps)
+
+
+def l1_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error (the paper's headline evaluation metric)."""
+    return F.absolute(prediction - target).mean()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic near zero, linear in the tails."""
+    diff = prediction - target
+    abs_diff = F.absolute(diff)
+    quadratic = F.clip(abs_diff, 0.0, delta)
+    linear = abs_diff - quadratic
+    return (0.5 * quadratic * quadratic + delta * linear).mean()
+
+
+LOSSES = {
+    "mse": mse_loss,
+    "rmse": rmse_loss,
+    "l1": l1_loss,
+    "huber": huber_loss,
+}

@@ -1,0 +1,16 @@
+"""Cost-based planner substrate: selectivity, cost model, physical planning."""
+
+from .cost import CostParams, NodeCost, bytes_of, pages_of
+from .planner import N_ATTR_SLOTS, Planner, SubPlan
+from .selectivity import SelectivityModel
+
+__all__ = [
+    "CostParams",
+    "NodeCost",
+    "bytes_of",
+    "pages_of",
+    "Planner",
+    "SubPlan",
+    "N_ATTR_SLOTS",
+    "SelectivityModel",
+]

@@ -1,0 +1,183 @@
+"""PostgreSQL-style optimizer cost model.
+
+Computes the abstract cost units (``Total Cost``), estimated I/O counts
+(``Estimated I/Os``) and memory estimates (``Plan Buffers``) that the
+featurizer consumes (paper Table 2 "All" rows) and the TAM baseline
+calibrates.  Constants default to PostgreSQL's documented defaults.
+
+All functions take *estimated* rows/pages — the cost model sees the
+optimizer's world, never the true cardinalities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.catalog.schema import PAGE_SIZE_BYTES
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Cost-unit constants (PostgreSQL defaults) and memory limits."""
+
+    seq_page_cost: float = 1.0
+    random_page_cost: float = 4.0
+    cpu_tuple_cost: float = 0.01
+    cpu_index_tuple_cost: float = 0.005
+    cpu_operator_cost: float = 0.0025
+    work_mem_bytes: int = 64 * 1024 * 1024  # 64 MB
+    hash_mem_multiplier: float = 1.0
+
+    @property
+    def work_mem_pages(self) -> float:
+        return self.work_mem_bytes / PAGE_SIZE_BYTES
+
+
+def bytes_of(rows: float, width: float) -> float:
+    return max(0.0, rows) * max(1.0, width)
+
+
+def pages_of(rows: float, width: float) -> float:
+    return max(1.0, bytes_of(rows, width) / PAGE_SIZE_BYTES)
+
+
+@dataclass(frozen=True)
+class NodeCost:
+    """Self (non-cumulative) cost estimate of one operator."""
+
+    startup: float
+    total: float  # self cost only; planner adds children cumulatively
+    io_pages: float  # estimated I/O page fetches performed by this node
+    buffers_kb: float  # estimated working memory in KB
+
+
+def seq_scan_cost(params: CostParams, table_pages: float, table_rows: float, n_preds: int) -> NodeCost:
+    run = (
+        table_pages * params.seq_page_cost
+        + table_rows * params.cpu_tuple_cost
+        + table_rows * n_preds * params.cpu_operator_cost
+    )
+    return NodeCost(0.0, run, io_pages=table_pages, buffers_kb=PAGE_SIZE_BYTES / 1024.0)
+
+
+def index_scan_cost(
+    params: CostParams,
+    table_pages: float,
+    table_rows: float,
+    out_rows: float,
+    clustered: bool,
+    n_preds: int,
+) -> NodeCost:
+    height = max(1.0, math.log2(max(2.0, table_rows)) / 8.0)
+    descent = height * params.random_page_cost
+    if clustered:
+        frac = out_rows / max(1.0, table_rows)
+        heap_pages = max(1.0, frac * table_pages)
+        heap_cost = heap_pages * params.seq_page_cost
+        io_pages = heap_pages + height
+    else:
+        # Unclustered: roughly one random heap page per matching tuple,
+        # capped by the table size (Mackert & Lohman-style approximation).
+        heap_pages = min(out_rows, table_pages)
+        heap_cost = heap_pages * params.random_page_cost
+        io_pages = heap_pages + height
+    cpu = out_rows * (params.cpu_index_tuple_cost + params.cpu_tuple_cost) + out_rows * n_preds * params.cpu_operator_cost
+    return NodeCost(descent, descent + heap_cost + cpu, io_pages=io_pages, buffers_kb=PAGE_SIZE_BYTES / 1024.0)
+
+
+def sort_cost(params: CostParams, in_rows: float, width: float, top_n: float | None = None) -> NodeCost:
+    rows = max(1.0, in_rows)
+    data_bytes = bytes_of(rows, width)
+    if top_n is not None and top_n < rows:
+        # Top-N heapsort: one pass with a bounded heap.
+        run = rows * math.log2(max(2.0, top_n)) * params.cpu_operator_cost * 2.0
+        return NodeCost(run, run, io_pages=0.0, buffers_kb=bytes_of(top_n, width) / 1024.0)
+    compare = rows * math.log2(max(2.0, rows)) * params.cpu_operator_cost * 2.0
+    if data_bytes <= params.work_mem_bytes:
+        return NodeCost(compare, compare, io_pages=0.0, buffers_kb=data_bytes / 1024.0)
+    # External merge sort: write + read each page per merge pass.
+    data_pages = pages_of(rows, width)
+    merge_order = max(2.0, params.work_mem_pages / 2.0)
+    passes = max(1.0, math.ceil(math.log(data_bytes / params.work_mem_bytes, merge_order)))
+    io = 2.0 * data_pages * passes
+    run = compare + io * params.seq_page_cost
+    return NodeCost(run, run, io_pages=io, buffers_kb=params.work_mem_bytes / 1024.0)
+
+
+def hash_build_cost(params: CostParams, in_rows: float, width: float) -> NodeCost:
+    rows = max(1.0, in_rows)
+    data_bytes = bytes_of(rows, width) * 1.2  # bucket overhead
+    run = rows * (params.cpu_operator_cost * 2.0 + params.cpu_tuple_cost * 0.5)
+    mem_limit = params.work_mem_bytes * params.hash_mem_multiplier
+    if data_bytes <= mem_limit:
+        return NodeCost(run, run, io_pages=0.0, buffers_kb=data_bytes / 1024.0)
+    batches = math.ceil(data_bytes / mem_limit)
+    spill_pages = pages_of(rows, width) * (batches - 1) / batches * 2.0
+    run += spill_pages * params.seq_page_cost
+    return NodeCost(run, run, io_pages=spill_pages, buffers_kb=mem_limit / 1024.0)
+
+
+def hash_join_cost(
+    params: CostParams, outer_rows: float, inner_rows: float, inner_width: float, out_rows: float
+) -> NodeCost:
+    probe = outer_rows * params.cpu_operator_cost * 1.5
+    emit = out_rows * params.cpu_tuple_cost
+    mem_limit = params.work_mem_bytes * params.hash_mem_multiplier
+    data_bytes = bytes_of(inner_rows, inner_width) * 1.2
+    io = 0.0
+    if data_bytes > mem_limit:
+        batches = math.ceil(data_bytes / mem_limit)
+        io = pages_of(outer_rows, inner_width) * (batches - 1) / batches * 2.0
+    run = probe + emit + io * params.seq_page_cost
+    return NodeCost(0.0, run, io_pages=io, buffers_kb=0.0)
+
+
+def merge_join_cost(params: CostParams, left_rows: float, right_rows: float, out_rows: float) -> NodeCost:
+    run = (left_rows + right_rows) * params.cpu_operator_cost + out_rows * params.cpu_tuple_cost
+    return NodeCost(0.0, run, io_pages=0.0, buffers_kb=0.0)
+
+
+def nested_loop_cost(
+    params: CostParams, outer_rows: float, inner_rescan_cost: float, out_rows: float
+) -> NodeCost:
+    run = max(0.0, outer_rows) * inner_rescan_cost + out_rows * params.cpu_tuple_cost
+    return NodeCost(0.0, run, io_pages=0.0, buffers_kb=0.0)
+
+
+def aggregate_cost(
+    params: CostParams, in_rows: float, n_groups: float, n_functions: int, strategy: str
+) -> NodeCost:
+    rows = max(1.0, in_rows)
+    transitions = rows * n_functions * params.cpu_operator_cost
+    if strategy == "hashed":
+        run = transitions + rows * params.cpu_operator_cost * 2.0 + n_groups * params.cpu_tuple_cost
+        mem = n_groups * 64.0 / 1024.0  # ~64B per group state
+        return NodeCost(run, run, io_pages=0.0, buffers_kb=mem)
+    if strategy == "sorted":
+        run = transitions + rows * params.cpu_operator_cost + n_groups * params.cpu_tuple_cost
+        return NodeCost(0.0, run, io_pages=0.0, buffers_kb=PAGE_SIZE_BYTES / 1024.0)
+    # plain
+    run = transitions + params.cpu_tuple_cost
+    return NodeCost(run, run, io_pages=0.0, buffers_kb=PAGE_SIZE_BYTES / 1024.0)
+
+
+def materialize_cost(params: CostParams, in_rows: float, width: float) -> NodeCost:
+    rows = max(1.0, in_rows)
+    run = rows * params.cpu_operator_cost * 0.5
+    data_bytes = bytes_of(rows, width)
+    io = 0.0
+    if data_bytes > params.work_mem_bytes:
+        io = pages_of(rows, width) * 2.0
+        run += io * params.seq_page_cost
+    return NodeCost(0.0, run, io_pages=io, buffers_kb=min(data_bytes, params.work_mem_bytes) / 1024.0)
+
+
+def limit_cost(params: CostParams, limit_rows: float) -> NodeCost:
+    run = max(0.0, limit_rows) * params.cpu_tuple_cost * 0.1
+    return NodeCost(0.0, run, io_pages=0.0, buffers_kb=0.0)
+
+
+def rescan_cost(params: CostParams, materialized_rows: float) -> float:
+    """Cost of re-reading a materialized inner side once (nested loop)."""
+    return max(1.0, materialized_rows) * params.cpu_operator_cost * 0.25

@@ -1,0 +1,520 @@
+"""Cost-based physical planner.
+
+Turns a :class:`~repro.workload.query.QuerySpec` into a physical
+:class:`~repro.plans.node.PlanNode` tree annotated with optimizer
+estimates (``props`` — what models see) and ground truth (``truth`` —
+what only the execution simulator sees).
+
+The planner mimics PostgreSQL's decisions at the granularity the paper's
+features require: access-path selection (seq vs. index scan), greedy
+smallest-output join ordering, cost-based join algorithm choice (hash /
+merge / nested loop, with Hash, Sort and Materialize helper nodes),
+aggregate strategy selection (plain / sorted / hashed) and top-N sorts.
+
+Estimated cardinalities use the independence assumption and the biased
+:class:`~repro.optimizer.selectivity.SelectivityModel`; true cardinalities
+honour predicate correlation and per-edge FK skew.  The gap between the
+two is exactly the signal learned models can exploit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.catalog.schema import Schema, Table
+from repro.plans.node import PlanNode
+from repro.plans.operators import PhysicalOp
+from repro.queryspec import JoinEdge, QuerySpec, TableRef
+
+from . import cost as C
+from .selectivity import SelectivityModel
+
+#: Number of attribute-statistics slots in scan features (Table 2's
+#: "Attribute Mins/Medians/Maxs" vectors, fixed-size for batching).
+N_ATTR_SLOTS = 3
+
+
+@dataclass
+class SubPlan:
+    """A partial plan during join enumeration."""
+
+    node: PlanNode
+    aliases: frozenset[str]
+    est_rows: float
+    true_rows: float
+    width: float
+    sorted_on: Optional[str] = None  # qualified 'alias.column' ordering
+    cum_cost: float = 0.0
+    cum_true_pages: float = field(default=0.0)  # diagnostics only
+
+
+class Planner:
+    """Plans queries over a schema with a given cost/estimation model."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        cost_params: Optional[C.CostParams] = None,
+        selectivity: Optional[SelectivityModel] = None,
+    ) -> None:
+        self.schema = schema
+        self.params = cost_params or C.CostParams()
+        self.selectivity = selectivity or SelectivityModel()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def plan(self, query: QuerySpec) -> PlanNode:
+        """Produce the physical plan for ``query``."""
+        subplans = [self._plan_scan(ref, query) for ref in query.tables]
+        current = {sp.aliases: sp for sp in subplans}
+
+        edges = list(query.joins)
+        while len(current) > 1:
+            best = self._best_join(current, edges, query)
+            if best is None:
+                raise ValueError(f"query {query.template_id}: join graph is disconnected")
+            left_key, right_key, joined = best
+            del current[left_key]
+            del current[right_key]
+            current[joined.aliases] = joined
+
+        result = next(iter(current.values()))
+
+        if query.aggregate is not None:
+            result = self._plan_aggregate(result, query)
+        if query.order_by:
+            result = self._plan_order_by(result, query)
+        if query.limit is not None:
+            result = self._plan_limit(result, query)
+
+        self._annotate_parent_relationships(result.node)
+        return result.node
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+    def _plan_scan(self, ref: TableRef, query: QuerySpec) -> SubPlan:
+        table = self.schema.table(ref.table)
+        est_sel = self.selectivity.estimate_scan(ref)
+        true_sel = ref.true_selectivity()
+        est_rows = max(1.0, table.row_count * est_sel)
+        true_rows = max(0.0, table.row_count * true_sel)
+        width = self._scan_width(ref, query, table)
+        n_preds = len(ref.predicates)
+
+        seq = C.seq_scan_cost(self.params, table.page_count, table.row_count, n_preds)
+        best_index = None
+        best_index_cost: Optional[C.NodeCost] = None
+        for pred in ref.predicates:
+            index = table.index_on(pred.column)
+            if index is None:
+                continue
+            idx_cost = C.index_scan_cost(
+                self.params, table.page_count, table.row_count, est_rows, index.clustered, n_preds
+            )
+            if best_index_cost is None or idx_cost.total < best_index_cost.total:
+                best_index = index
+                best_index_cost = idx_cost
+
+        if best_index is not None and best_index_cost is not None and best_index_cost.total < seq.total:
+            node = PlanNode(
+                PhysicalOp.INDEX_SCAN,
+                {
+                    "Relation Name": ref.table,
+                    "Index Name": best_index.name,
+                    "Scan Direction": "Forward",
+                },
+            )
+            node_cost = best_index_cost
+            sorted_on = f"{ref.alias}.{best_index.column}"
+            heap_pages = best_index_cost.io_pages
+            clustered = best_index.clustered
+        else:
+            node = PlanNode(PhysicalOp.SEQ_SCAN, {"Relation Name": ref.table})
+            node_cost = seq
+            clustered_idx = next((i for i in table.indexes if i.clustered), None)
+            sorted_on = f"{ref.alias}.{clustered_idx.column}" if clustered_idx else None
+            heap_pages = table.page_count
+            clustered = False
+
+        self._set_universal_props(node, est_rows, width, node_cost, node_cost.total)
+        self._attach_attribute_stats(node, ref, query, table)
+        node.truth.update(
+            {
+                "true_rows": true_rows,
+                "base_rows": float(table.row_count),
+                "heap_pages": float(heap_pages),
+                "table_pages": float(table.page_count),
+                "clustered": clustered,
+                "n_predicates": n_preds,
+                "alias": ref.alias,
+            }
+        )
+        return SubPlan(
+            node=node,
+            aliases=frozenset([ref.alias]),
+            est_rows=est_rows,
+            true_rows=true_rows,
+            width=width,
+            sorted_on=sorted_on,
+            cum_cost=node_cost.total,
+        )
+
+    def _scan_width(self, ref: TableRef, query: QuerySpec, table: Table) -> float:
+        needed: set[str] = {p.column for p in ref.predicates}
+        for edge in query.joins:
+            if edge.left_alias == ref.alias:
+                needed.add(edge.left_column)
+            if edge.right_alias == ref.alias:
+                needed.add(edge.right_column)
+        width = sum(table.column(c).width for c in needed if table.has_column(c))
+        width += 8  # projected measure / rowid overhead
+        return float(min(table.row_width, max(8, width)))
+
+    def _attach_attribute_stats(self, node: PlanNode, ref: TableRef, query: QuerySpec, table: Table) -> None:
+        """Fill the Attribute Mins/Medians/Maxs slots (Table 2, scans)."""
+        relevant: list[str] = [p.column for p in ref.predicates]
+        for edge in query.joins:
+            if edge.left_alias == ref.alias and edge.left_column not in relevant:
+                relevant.append(edge.left_column)
+            if edge.right_alias == ref.alias and edge.right_column not in relevant:
+                relevant.append(edge.right_column)
+        mins, medians, maxs = [], [], []
+        for name in relevant[:N_ATTR_SLOTS]:
+            if not table.has_column(name):
+                continue
+            col = table.column(name)
+            mins.append(col.min_value)
+            medians.append(col.median_value)
+            maxs.append(col.max_value)
+        while len(mins) < N_ATTR_SLOTS:
+            mins.append(0.0)
+            medians.append(0.0)
+            maxs.append(0.0)
+        node.props["Attribute Mins"] = mins
+        node.props["Attribute Medians"] = medians
+        node.props["Attribute Maxs"] = maxs
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+    def _best_join(
+        self,
+        current: dict[frozenset[str], SubPlan],
+        edges: list[JoinEdge],
+        query: QuerySpec,
+    ) -> Optional[tuple[frozenset[str], frozenset[str], SubPlan]]:
+        """Greedy step: join the pair with the smallest estimated output."""
+        best: Optional[tuple[float, frozenset[str], frozenset[str], JoinEdge]] = None
+        keys = list(current)
+        for i, left_key in enumerate(keys):
+            for right_key in keys[i + 1 :]:
+                for edge in edges:
+                    left_has = edge.left_alias in left_key or edge.right_alias in left_key
+                    right_has = edge.left_alias in right_key or edge.right_alias in right_key
+                    crosses = (
+                        (edge.left_alias in left_key and edge.right_alias in right_key)
+                        or (edge.left_alias in right_key and edge.right_alias in left_key)
+                    )
+                    if not (left_has and right_has and crosses):
+                        continue
+                    est_out, _ = self._join_cardinalities(
+                        current[left_key], current[right_key], edge, query
+                    )
+                    if best is None or est_out < best[0]:
+                        best = (est_out, left_key, right_key, edge)
+        if best is None:
+            return None
+        _, left_key, right_key, edge = best
+        joined = self._build_join(current[left_key], current[right_key], edge, query)
+        return left_key, right_key, joined
+
+    def _column_ndv(self, alias: str, column: str, query: QuerySpec, current_rows: float) -> int:
+        table = self.schema.table(query.table_ref(alias).table)
+        base = table.column(column).ndv if table.has_column(column) else 1000
+        return max(1, min(base, int(current_rows) or 1))
+
+    def _join_cardinalities(
+        self, left: SubPlan, right: SubPlan, edge: JoinEdge, query: QuerySpec
+    ) -> tuple[float, float]:
+        """(estimated, true) output rows of joining left and right on edge."""
+        left_alias, right_alias = edge.left_alias, edge.right_alias
+        # Which subplan holds which side of the edge?
+        left_in_left = left_alias in left.aliases
+        l_sub, r_sub = (left, right) if left_in_left else (right, left)
+        # l_sub holds edge.left_alias; r_sub holds edge.right_alias.
+
+        ndv_l = self._column_ndv(left_alias, edge.left_column, query, l_sub.est_rows)
+        ndv_r = self._column_ndv(right_alias, edge.right_column, query, r_sub.est_rows)
+        est_sel = self.selectivity.estimate_join_selectivity(ndv_l, ndv_r)
+        est_matches = max(1.0, l_sub.est_rows * r_sub.est_rows * est_sel)
+
+        # True matches: FK semantics when declared, NDV model otherwise.
+        if edge.fk_side is not None:
+            child, parent = (
+                (l_sub, r_sub) if edge.fk_side == left_alias else (r_sub, l_sub)
+            )
+            parent_alias = right_alias if edge.fk_side == left_alias else left_alias
+            parent_base = self.schema.table(query.table_ref(parent_alias).table).row_count
+            parent_frac = min(1.0, parent.true_rows / max(1.0, parent_base))
+            true_matches = child.true_rows * parent_frac * edge.skew
+        else:
+            true_ndv = max(
+                self._column_ndv(left_alias, edge.left_column, query, l_sub.true_rows),
+                self._column_ndv(right_alias, edge.right_column, query, r_sub.true_rows),
+            )
+            true_matches = l_sub.true_rows * r_sub.true_rows / max(1, true_ndv) * edge.skew
+
+        if edge.join_type == "inner" or edge.join_type == "full":
+            est_out, true_out = est_matches, true_matches
+            if edge.join_type == "full":
+                est_out += l_sub.est_rows + r_sub.est_rows
+                true_out += max(0.0, l_sub.true_rows - true_matches)
+        else:
+            # Semi/anti joins count *distinct* matched left rows, not match
+            # pairs.  With an average of k matches per left row, the matched
+            # fraction under a Poisson match-count model is 1 - e^{-k}.
+            est_frac = 1.0 - math.exp(-est_matches / max(1.0, l_sub.est_rows))
+            true_frac = 1.0 - math.exp(-true_matches / max(1.0, l_sub.true_rows))
+            if edge.join_type == "semi":
+                est_out = l_sub.est_rows * est_frac
+                true_out = l_sub.true_rows * true_frac
+            else:  # anti
+                est_out = l_sub.est_rows * (1.0 - est_frac)
+                true_out = l_sub.true_rows * (1.0 - true_frac)
+        return max(1.0, est_out), max(0.0, true_out)
+
+    def _build_join(
+        self, left: SubPlan, right: SubPlan, edge: JoinEdge, query: QuerySpec
+    ) -> SubPlan:
+        est_out, true_out = self._join_cardinalities(left, right, edge, query)
+        out_width = min(2048.0, left.width + right.width)
+
+        # Orient: outer = larger estimated side (probe), inner = smaller (build).
+        if left.est_rows >= right.est_rows:
+            outer, inner = left, right
+        else:
+            outer, inner = right, left
+
+        join_col_of = {
+            edge.left_alias: f"{edge.left_alias}.{edge.left_column}",
+            edge.right_alias: f"{edge.right_alias}.{edge.right_column}",
+        }
+
+        def side_join_col(sub: SubPlan) -> str:
+            for alias, qualified in join_col_of.items():
+                if alias in sub.aliases:
+                    return qualified
+            raise KeyError("edge does not touch subplan")
+
+        candidates: list[tuple[float, str]] = []
+        # Hash join: build hash on inner.
+        build = C.hash_build_cost(self.params, inner.est_rows, inner.width)
+        hj = C.hash_join_cost(self.params, outer.est_rows, inner.est_rows, inner.width, est_out)
+        candidates.append((build.total + hj.total, "hash"))
+        # Nested loop with materialized inner.
+        mat = C.materialize_cost(self.params, inner.est_rows, inner.width)
+        nl = C.nested_loop_cost(
+            self.params, outer.est_rows, C.rescan_cost(self.params, inner.est_rows), est_out
+        )
+        candidates.append((mat.total + nl.total, "nestloop"))
+        # Merge join: sort whichever inputs are not already sorted on the key.
+        mj_extra = 0.0
+        for sub in (outer, inner):
+            if sub.sorted_on != side_join_col(sub):
+                mj_extra += C.sort_cost(self.params, sub.est_rows, sub.width).total
+        mj = C.merge_join_cost(self.params, outer.est_rows, inner.est_rows, est_out)
+        candidates.append((mj_extra + mj.total, "merge"))
+
+        _, algorithm = min(candidates)
+        if algorithm == "hash":
+            joined = self._assemble_hash_join(outer, inner, edge, est_out, true_out, out_width)
+        elif algorithm == "merge":
+            joined = self._assemble_merge_join(outer, inner, edge, est_out, true_out, out_width, side_join_col)
+        else:
+            joined = self._assemble_nested_loop(outer, inner, edge, est_out, true_out, out_width)
+        joined.aliases = outer.aliases | inner.aliases
+        return joined
+
+    def _assemble_hash_join(
+        self, outer: SubPlan, inner: SubPlan, edge: JoinEdge,
+        est_out: float, true_out: float, out_width: float,
+    ) -> SubPlan:
+        build = C.hash_build_cost(self.params, inner.est_rows, inner.width)
+        # PostgreSQL sizes the bucket array for ~1 tuple per bucket from the
+        # *estimated* build cardinality; underestimates produce collision
+        # chains at execution time.
+        buckets = 2 ** max(10, math.ceil(math.log2(max(1.0, inner.est_rows) + 1)))
+        mem_limit = self.params.work_mem_bytes * self.params.hash_mem_multiplier
+        algo = "in-memory" if C.bytes_of(inner.est_rows, inner.width) * 1.2 <= mem_limit else "hybrid"
+        hash_node = PlanNode(
+            PhysicalOp.HASH,
+            {"Hash Buckets": float(buckets), "Hash Algorithm": algo},
+            [inner.node],
+        )
+        self._set_universal_props(
+            hash_node, inner.est_rows, inner.width, build, inner.cum_cost + build.total
+        )
+        hash_node.truth["true_rows"] = inner.true_rows
+
+        hj = C.hash_join_cost(self.params, outer.est_rows, inner.est_rows, inner.width, est_out)
+        join_node = PlanNode(
+            PhysicalOp.HASH_JOIN,
+            {"Join Type": edge.join_type},
+            [outer.node, hash_node],
+        )
+        cum = outer.cum_cost + inner.cum_cost + build.total + hj.total
+        self._set_universal_props(join_node, est_out, out_width, hj, cum)
+        join_node.truth["true_rows"] = true_out
+        return SubPlan(join_node, frozenset(), est_out, true_out, out_width,
+                       sorted_on=outer.sorted_on, cum_cost=cum)
+
+    def _assemble_merge_join(
+        self, outer: SubPlan, inner: SubPlan, edge: JoinEdge,
+        est_out: float, true_out: float, out_width: float, side_join_col,
+    ) -> SubPlan:
+        children = []
+        cum = 0.0
+        for sub in (outer, inner):
+            key = side_join_col(sub)
+            if sub.sorted_on != key:
+                sorted_sub = self._add_sort(sub, key)
+                children.append(sorted_sub.node)
+                cum += sorted_sub.cum_cost
+            else:
+                children.append(sub.node)
+                cum += sub.cum_cost
+        mj = C.merge_join_cost(self.params, outer.est_rows, inner.est_rows, est_out)
+        join_node = PlanNode(PhysicalOp.MERGE_JOIN, {"Join Type": edge.join_type}, children)
+        cum += mj.total
+        self._set_universal_props(join_node, est_out, out_width, mj, cum)
+        join_node.truth["true_rows"] = true_out
+        return SubPlan(join_node, frozenset(), est_out, true_out, out_width,
+                       sorted_on=side_join_col(outer), cum_cost=cum)
+
+    def _assemble_nested_loop(
+        self, outer: SubPlan, inner: SubPlan, edge: JoinEdge,
+        est_out: float, true_out: float, out_width: float,
+    ) -> SubPlan:
+        mat = C.materialize_cost(self.params, inner.est_rows, inner.width)
+        mat_node = PlanNode(PhysicalOp.MATERIALIZE, {}, [inner.node])
+        self._set_universal_props(
+            mat_node, inner.est_rows, inner.width, mat, inner.cum_cost + mat.total
+        )
+        mat_node.truth["true_rows"] = inner.true_rows
+
+        nl = C.nested_loop_cost(
+            self.params, outer.est_rows, C.rescan_cost(self.params, inner.est_rows), est_out
+        )
+        join_node = PlanNode(
+            PhysicalOp.NESTED_LOOP, {"Join Type": edge.join_type}, [outer.node, mat_node]
+        )
+        cum = outer.cum_cost + inner.cum_cost + mat.total + nl.total
+        self._set_universal_props(join_node, est_out, out_width, nl, cum)
+        join_node.truth["true_rows"] = true_out
+        return SubPlan(join_node, frozenset(), est_out, true_out, out_width,
+                       sorted_on=outer.sorted_on, cum_cost=cum)
+
+    # ------------------------------------------------------------------
+    # Sorts, aggregates, limits
+    # ------------------------------------------------------------------
+    def _add_sort(self, sub: SubPlan, key: str, top_n: Optional[float] = None) -> SubPlan:
+        cost = C.sort_cost(self.params, sub.est_rows, sub.width, top_n=top_n)
+        if top_n is not None and top_n < sub.est_rows:
+            method = "top-N heapsort"
+        elif C.bytes_of(sub.est_rows, sub.width) > self.params.work_mem_bytes:
+            method = "external merge"
+        else:
+            method = "quicksort"
+        node = PlanNode(PhysicalOp.SORT, {"Sort Key": key, "Sort Method": method}, [sub.node])
+        cum = sub.cum_cost + cost.total
+        self._set_universal_props(node, sub.est_rows, sub.width, cost, cum)
+        node.truth["true_rows"] = sub.true_rows
+        if top_n is not None:
+            node.truth["top_n"] = float(top_n)
+        return SubPlan(node, sub.aliases, sub.est_rows, sub.true_rows, sub.width,
+                       sorted_on=key, cum_cost=cum)
+
+    def _plan_aggregate(self, sub: SubPlan, query: QuerySpec) -> SubPlan:
+        spec = query.aggregate
+        assert spec is not None
+        n_fns = len(spec.functions)
+        if not spec.is_grouped:
+            strategy = "plain"
+            est_groups = 1.0
+            true_groups = 1.0
+        else:
+            ndv_product = 1.0
+            for qualified in spec.group_by:
+                alias, _, column = qualified.partition(".")
+                ndv_product *= self._column_ndv(alias, column, query, sub.est_rows)
+            est_groups = max(1.0, min(sub.est_rows, ndv_product))
+            true_groups = max(1.0, sub.true_rows * spec.groups_fraction)
+            if sub.sorted_on is not None and sub.sorted_on == spec.group_by[0]:
+                strategy = "sorted"
+            elif est_groups * 64.0 <= self.params.work_mem_bytes:
+                strategy = "hashed"
+            else:
+                sub = self._add_sort(sub, spec.group_by[0])
+                strategy = "sorted"
+
+        cost = C.aggregate_cost(self.params, sub.est_rows, est_groups, n_fns, strategy)
+        out_width = float(8 * n_fns + 8 * len(spec.group_by))
+        node = PlanNode(
+            PhysicalOp.AGGREGATE,
+            {"Strategy": strategy, "Partial Mode": False, "Operator": spec.functions[0]},
+            [sub.node],
+        )
+        cum = sub.cum_cost + cost.total
+        self._set_universal_props(node, est_groups, out_width, cost, cum)
+        node.truth["true_rows"] = true_groups
+        node.truth["n_functions"] = n_fns
+        sorted_on = spec.group_by[0] if strategy == "sorted" and spec.is_grouped else None
+        return SubPlan(node, sub.aliases, est_groups, true_groups, out_width,
+                       sorted_on=sorted_on, cum_cost=cum)
+
+    def _plan_order_by(self, sub: SubPlan, query: QuerySpec) -> SubPlan:
+        key = query.order_by[0]
+        if sub.sorted_on == key:
+            return sub
+        top_n = float(query.limit) if query.limit is not None else None
+        return self._add_sort(sub, key, top_n=top_n)
+
+    def _plan_limit(self, sub: SubPlan, query: QuerySpec) -> SubPlan:
+        assert query.limit is not None
+        est_out = min(float(query.limit), sub.est_rows)
+        true_out = min(float(query.limit), sub.true_rows)
+        cost = C.limit_cost(self.params, est_out)
+        node = PlanNode(PhysicalOp.LIMIT, {}, [sub.node])
+        cum = sub.cum_cost + cost.total
+        self._set_universal_props(node, est_out, sub.width, cost, cum)
+        node.truth["true_rows"] = true_out
+        return SubPlan(node, sub.aliases, est_out, true_out, sub.width,
+                       sorted_on=sub.sorted_on, cum_cost=cum)
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _set_universal_props(
+        node: PlanNode, est_rows: float, width: float, cost: C.NodeCost, cum_cost: float
+    ) -> None:
+        node.props.setdefault("Plan Rows", float(est_rows))
+        node.props.setdefault("Plan Width", float(width))
+        node.props.setdefault("Startup Cost", float(cost.startup))
+        node.props.setdefault("Total Cost", float(cum_cost))
+        node.props.setdefault("Plan Buffers", float(cost.buffers_kb))
+        node.props.setdefault("Estimated I/Os", float(cost.io_pages))
+
+    @staticmethod
+    def _annotate_parent_relationships(root: PlanNode) -> None:
+        """Set the Table-2 "Parent Relationship" on children of joins."""
+        for node in root.preorder():
+            if node.logical_type.value != "join":
+                continue
+            labels = ("outer", "inner")
+            for child, label in zip(node.children, labels):
+                child.props["Parent Relationship"] = label

@@ -1,0 +1,45 @@
+"""Query execution plan substrate: operators, trees, EXPLAIN, validation."""
+
+from .dot import network_to_dot, plan_to_dot
+from .explain import explain_json, explain_text, parse_explain_json
+from .node import PlanNode, operator_instances
+from .operators import (
+    AGGREGATE_STRATEGIES,
+    HASH_ALGORITHMS,
+    JOIN_ALGORITHMS,
+    JOIN_TYPES,
+    LOGICAL_ARITY,
+    PARENT_RELATIONSHIPS,
+    PHYSICAL_TO_LOGICAL,
+    SORT_METHODS,
+    LogicalType,
+    PhysicalOp,
+    arity_of,
+    logical_type_of,
+)
+from .validate import PlanValidationError, count_logical, validate_plan
+
+__all__ = [
+    "PlanNode",
+    "operator_instances",
+    "PhysicalOp",
+    "LogicalType",
+    "PHYSICAL_TO_LOGICAL",
+    "LOGICAL_ARITY",
+    "JOIN_ALGORITHMS",
+    "JOIN_TYPES",
+    "PARENT_RELATIONSHIPS",
+    "AGGREGATE_STRATEGIES",
+    "SORT_METHODS",
+    "HASH_ALGORITHMS",
+    "arity_of",
+    "logical_type_of",
+    "explain_text",
+    "explain_json",
+    "parse_explain_json",
+    "plan_to_dot",
+    "network_to_dot",
+    "validate_plan",
+    "PlanValidationError",
+    "count_logical",
+]

@@ -1,0 +1,67 @@
+"""Graphviz DOT export for plan trees (and their neural-network mirror).
+
+``plan_to_dot`` renders an execution plan; ``network_to_dot`` renders the
+isomorphic plan-structured network with one box per neural-unit instance
+and the latency/data-vector edges between them — the paper's Figure 4,
+as a diagram you can actually generate from a live plan.
+"""
+
+from __future__ import annotations
+
+from .node import PlanNode
+
+
+def _escape(label: str) -> str:
+    return label.replace('"', r"\"")
+
+
+def plan_to_dot(root: PlanNode, analyze: bool = False) -> str:
+    """Render a plan tree as a DOT digraph (children point to parents)."""
+    lines = [
+        "digraph plan {",
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="Helvetica"];',
+    ]
+    ids = {id(node): f"n{i}" for i, node in enumerate(root.preorder())}
+    for node in root.preorder():
+        label = node.op.value
+        rel = node.props.get("Relation Name")
+        if rel:
+            label += f"\\n{rel}"
+        rows = node.props.get("Plan Rows")
+        if rows is not None:
+            label += f"\\nrows={rows:.0f}"
+        if analyze and node.actual_total_ms is not None:
+            label += f"\\n{node.actual_total_ms:.1f} ms"
+        lines.append(f'  {ids[id(node)]} [label="{_escape(label)}"];')
+        for child in node.children:
+            lines.append(f"  {ids[id(child)]} -> {ids[id(node)]};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def network_to_dot(root: PlanNode, data_size: int = 32) -> str:
+    """Render the plan-structured network isomorphic to ``root``.
+
+    Each plan operator becomes its neural unit (labelled by unit type —
+    the same unit object is shared by instances of a type); edges carry
+    the ``(latency, d-dim data vector)`` outputs upward (Figure 4/6).
+    """
+    lines = [
+        "digraph qppnet {",
+        "  rankdir=BT;",
+        '  node [shape=trapezium, orientation=180, fontname="Helvetica"];',
+    ]
+    ids = {id(node): f"u{i}" for i, node in enumerate(root.preorder())}
+    for node in root.preorder():
+        unit = f"N_{node.logical_type.value}"
+        extra = node.props.get("Relation Name", "")
+        label = f"{unit}\\n{extra}" if extra else unit
+        lines.append(f'  {ids[id(node)]} [label="{_escape(label)}"];')
+        for child in node.children:
+            lines.append(
+                f'  {ids[id(child)]} -> {ids[id(node)]} '
+                f'[label="latency + data[{data_size}]"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""EXPLAIN / EXPLAIN ANALYZE-style rendering for plan trees.
+
+Gives the reproduction the same observability surface the paper's data
+collection used: a human-readable plan printout with optimizer estimates,
+plus actual rows/times once a plan has been simulated.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .node import PlanNode
+
+
+def _estimate_clause(node: PlanNode) -> str:
+    cost = node.props.get("Total Cost", 0.0)
+    startup = node.props.get("Startup Cost", 0.0)
+    rows = node.props.get("Plan Rows", 0)
+    width = node.props.get("Plan Width", 0)
+    return f"(cost={startup:.2f}..{cost:.2f} rows={rows:.0f} width={width:.0f})"
+
+
+def _actual_clause(node: PlanNode) -> str:
+    if node.actual_total_ms is None:
+        return ""
+    rows = node.actual_rows if node.actual_rows is not None else 0
+    return f" (actual time=0.000..{node.actual_total_ms:.3f} rows={rows:.0f})"
+
+
+def _header(node: PlanNode) -> str:
+    label = node.op.value
+    rel = node.props.get("Relation Name")
+    if rel:
+        if node.props.get("Index Name"):
+            label += f" using {node.props['Index Name']} on {rel}"
+        else:
+            label += f" on {rel}"
+    join_type = node.props.get("Join Type")
+    if join_type and join_type != "inner":
+        label = f"{label} ({join_type})"
+    strategy = node.props.get("Strategy")
+    if strategy and strategy != "plain":
+        label = f"{strategy.capitalize()}{label}" if strategy == "hashed" else label
+    return label
+
+
+def explain_text(root: PlanNode, analyze: bool = False) -> str:
+    """Render the plan like psql's ``EXPLAIN`` (``ANALYZE`` if requested)."""
+    lines: list[str] = []
+
+    def visit(node: PlanNode, depth: int, is_root: bool) -> None:
+        indent = "" if is_root else "  " * depth + "->  "
+        line = f"{indent}{_header(node)}  {_estimate_clause(node)}"
+        if analyze:
+            line += _actual_clause(node)
+        lines.append(line)
+        sort_key = node.props.get("Sort Key")
+        if sort_key:
+            lines.append("  " * (depth + 1) + f"Sort Key: {sort_key}")
+        for child in node.children:
+            visit(child, depth + 1, False)
+
+    visit(root, 0, True)
+    return "\n".join(lines)
+
+
+def explain_json(root: PlanNode, analyze: bool = False) -> str:
+    """Render the plan as ``EXPLAIN (FORMAT JSON)`` would."""
+    payload = root.to_dict()
+    if not analyze:
+        payload = _strip_actuals(payload)
+    return json.dumps([{"Plan": payload}], indent=2)
+
+
+def _strip_actuals(tree: dict) -> dict:
+    tree = {k: v for k, v in tree.items() if not k.startswith("Actual")}
+    if "Plans" in tree:
+        tree["Plans"] = [_strip_actuals(c) for c in tree["Plans"]]
+    return tree
+
+
+def parse_explain_json(text: str) -> PlanNode:
+    """Parse output of :func:`explain_json` back into a plan tree."""
+    payload = json.loads(text)
+    if not isinstance(payload, list) or "Plan" not in payload[0]:
+        raise ValueError("not an EXPLAIN (FORMAT JSON) document")
+    return PlanNode.from_dict(payload[0]["Plan"])

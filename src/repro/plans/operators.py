@@ -1,0 +1,100 @@
+"""Operator taxonomy: physical operators and their logical operator types.
+
+The paper assigns one neural unit per *logical* operator type supported by
+the execution engine (§4.1): scans, joins, sorts, hashes, aggregates, etc.
+Physical variants (e.g. hash join vs. nested loop) are distinguished by
+features inside the unit's input vector ("Join Type" in Table 2), not by
+separate units — matching how the paper groups PostgreSQL operators.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class PhysicalOp(str, Enum):
+    """PostgreSQL-style physical plan operators."""
+
+    SEQ_SCAN = "Seq Scan"
+    INDEX_SCAN = "Index Scan"
+    SORT = "Sort"
+    HASH = "Hash"
+    HASH_JOIN = "Hash Join"
+    MERGE_JOIN = "Merge Join"
+    NESTED_LOOP = "Nested Loop"
+    AGGREGATE = "Aggregate"
+    MATERIALIZE = "Materialize"
+    LIMIT = "Limit"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class LogicalType(str, Enum):
+    """Logical operator types — one neural unit per member (§4.1)."""
+
+    SCAN = "scan"
+    JOIN = "join"
+    SORT = "sort"
+    HASH = "hash"
+    AGGREGATE = "aggregate"
+    MATERIALIZE = "materialize"
+    LIMIT = "limit"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Physical -> logical operator mapping.
+PHYSICAL_TO_LOGICAL: dict[PhysicalOp, LogicalType] = {
+    PhysicalOp.SEQ_SCAN: LogicalType.SCAN,
+    PhysicalOp.INDEX_SCAN: LogicalType.SCAN,
+    PhysicalOp.HASH_JOIN: LogicalType.JOIN,
+    PhysicalOp.MERGE_JOIN: LogicalType.JOIN,
+    PhysicalOp.NESTED_LOOP: LogicalType.JOIN,
+    PhysicalOp.SORT: LogicalType.SORT,
+    PhysicalOp.HASH: LogicalType.HASH,
+    PhysicalOp.AGGREGATE: LogicalType.AGGREGATE,
+    PhysicalOp.MATERIALIZE: LogicalType.MATERIALIZE,
+    PhysicalOp.LIMIT: LogicalType.LIMIT,
+}
+
+#: Fixed child arity per logical type.  A unit's input width is
+#: ``len(F(op)) + arity * (d + 1)`` — fixed per type, as the paper requires.
+LOGICAL_ARITY: dict[LogicalType, int] = {
+    LogicalType.SCAN: 0,
+    LogicalType.JOIN: 2,
+    LogicalType.SORT: 1,
+    LogicalType.HASH: 1,
+    LogicalType.AGGREGATE: 1,
+    LogicalType.MATERIALIZE: 1,
+    LogicalType.LIMIT: 1,
+}
+
+#: Join algorithm names used in the "Join Type"-adjacent physical features.
+JOIN_ALGORITHMS = (PhysicalOp.HASH_JOIN, PhysicalOp.MERGE_JOIN, PhysicalOp.NESTED_LOOP)
+
+#: Logical join semantics (the paper's "Join Type" one-hot: semi, inner,
+#: anti, full).
+JOIN_TYPES = ("inner", "semi", "anti", "full")
+
+#: "Parent Relationship" one-hot values (Table 2).
+PARENT_RELATIONSHIPS = ("inner", "outer", "subquery")
+
+#: Aggregate strategies (Table 2: plain, sorted, hashed).
+AGGREGATE_STRATEGIES = ("plain", "sorted", "hashed")
+
+#: Sort methods (Table 2).
+SORT_METHODS = ("quicksort", "top-N heapsort", "external merge")
+
+#: Hash algorithm labels.
+HASH_ALGORITHMS = ("in-memory", "hybrid", "skew-optimized")
+
+
+def logical_type_of(physical: PhysicalOp) -> LogicalType:
+    """Map a physical operator to the neural-unit type that models it."""
+    return PHYSICAL_TO_LOGICAL[physical]
+
+
+def arity_of(logical: LogicalType) -> int:
+    return LOGICAL_ARITY[logical]

@@ -1,0 +1,91 @@
+"""Structural validation of plan trees.
+
+Catches planner bugs early: wrong arity, missing required properties,
+non-monotonic cumulative costs, negative estimates.  Used in planner tests
+and as a guard in the corpus generator.
+"""
+
+from __future__ import annotations
+
+from .node import PlanNode
+from .operators import LogicalType, PhysicalOp
+
+#: Properties every node must carry (the "All" rows of paper Table 2).
+UNIVERSAL_PROPS = ("Plan Rows", "Plan Width", "Total Cost", "Plan Buffers", "Estimated I/Os")
+
+#: Extra required properties by physical operator.
+REQUIRED_BY_OP: dict[PhysicalOp, tuple[str, ...]] = {
+    PhysicalOp.SEQ_SCAN: ("Relation Name",),
+    PhysicalOp.INDEX_SCAN: ("Relation Name", "Index Name", "Scan Direction"),
+    PhysicalOp.HASH_JOIN: ("Join Type",),
+    PhysicalOp.MERGE_JOIN: ("Join Type",),
+    PhysicalOp.NESTED_LOOP: ("Join Type",),
+    PhysicalOp.SORT: ("Sort Key", "Sort Method"),
+    PhysicalOp.HASH: ("Hash Buckets", "Hash Algorithm"),
+    PhysicalOp.AGGREGATE: ("Strategy", "Partial Mode", "Operator"),
+}
+
+
+class PlanValidationError(ValueError):
+    """Raised when a plan tree violates a structural invariant."""
+
+
+def validate_plan(root: PlanNode, analyzed: bool = False) -> None:
+    """Raise :class:`PlanValidationError` on the first violated invariant."""
+    for node in root.preorder():
+        _check_arity(node)
+        _check_props(node)
+        _check_estimates(node)
+        if analyzed:
+            _check_actuals(node)
+
+
+def _check_arity(node: PlanNode) -> None:
+    expected = node.expected_arity
+    actual = len(node.children)
+    if actual != expected:
+        raise PlanValidationError(
+            f"{node.op.value}: expected {expected} children, found {actual}"
+        )
+
+
+def _check_props(node: PlanNode) -> None:
+    for key in UNIVERSAL_PROPS:
+        if key not in node.props:
+            raise PlanValidationError(f"{node.op.value}: missing property {key!r}")
+    for key in REQUIRED_BY_OP.get(node.op, ()):
+        if key not in node.props:
+            raise PlanValidationError(f"{node.op.value}: missing property {key!r}")
+
+
+def _check_estimates(node: PlanNode) -> None:
+    if node.props["Plan Rows"] < 0:
+        raise PlanValidationError(f"{node.op.value}: negative row estimate")
+    if node.props["Total Cost"] < 0:
+        raise PlanValidationError(f"{node.op.value}: negative cost")
+    # Total cost is cumulative: a parent must cost at least any child.
+    for child in node.children:
+        if node.props["Total Cost"] + 1e-6 < child.props["Total Cost"]:
+            raise PlanValidationError(
+                f"{node.op.value}: cumulative cost below child {child.op.value}"
+            )
+
+
+def _check_actuals(node: PlanNode) -> None:
+    if node.actual_total_ms is None or node.actual_rows is None:
+        raise PlanValidationError(f"{node.op.value}: missing actuals on analyzed plan")
+    if node.actual_total_ms < 0:
+        raise PlanValidationError(f"{node.op.value}: negative actual time")
+    for child in node.children:
+        if child.actual_total_ms is not None and node.actual_total_ms + 1e-9 < child.actual_total_ms:
+            raise PlanValidationError(
+                f"{node.op.value}: actual time below child (not cumulative)"
+            )
+
+
+def count_logical(root: PlanNode) -> dict[LogicalType, int]:
+    """Histogram of logical operator types in a plan (for diagnostics)."""
+    counts: dict[LogicalType, int] = {}
+    for node in root.preorder():
+        counts[node.logical_type] = counts.get(node.logical_type, 0) + 1
+    return counts

@@ -1,0 +1,43 @@
+"""Benchmark workloads: query specs, templates, corpus generation, splits."""
+
+from .corpus_io import load_corpus, save_corpus
+from .dataset import Dataset, random_split, template_folds, template_holdout_split
+from .generator import PlanSample, Workbench
+from .query import AggregateSpec, JoinEdge, Predicate, QuerySpec, TableRef
+from .templates_base import (
+    AggregateTemplate,
+    JoinTemplate,
+    PredicateTemplate,
+    QueryTemplate,
+    TableTemplate,
+    pred,
+)
+from .tpch_templates import TPCH_TEMPLATES, tpch_template_ids
+from .tpcds_templates import TPCDS_TEMPLATE_NUMBERS, TPCDS_TEMPLATES, tpcds_template_ids
+
+__all__ = [
+    "Predicate",
+    "TableRef",
+    "JoinEdge",
+    "AggregateSpec",
+    "QuerySpec",
+    "PredicateTemplate",
+    "TableTemplate",
+    "JoinTemplate",
+    "AggregateTemplate",
+    "QueryTemplate",
+    "pred",
+    "TPCH_TEMPLATES",
+    "tpch_template_ids",
+    "TPCDS_TEMPLATES",
+    "TPCDS_TEMPLATE_NUMBERS",
+    "tpcds_template_ids",
+    "PlanSample",
+    "Workbench",
+    "save_corpus",
+    "load_corpus",
+    "Dataset",
+    "random_split",
+    "template_holdout_split",
+    "template_folds",
+]

@@ -1,0 +1,94 @@
+"""Workload CLI: generate and inspect executed-plan corpora.
+
+Examples::
+
+    python -m repro.workload generate --workload tpch -n 500 -o tpch.jsonl
+    python -m repro.workload inspect tpch.jsonl
+    python -m repro.workload explain --workload tpcds --template tpcds_q3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+import numpy as np
+
+from repro.plans import explain_text
+
+from .corpus_io import load_corpus, save_corpus
+from .generator import Workbench
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    workbench = Workbench(args.workload, scale_factor=args.scale_factor, seed=args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    samples = workbench.generate(args.n, rng=rng, validate=True)
+    count = save_corpus(samples, args.output)
+    latencies = np.array([s.latency_ms for s in samples])
+    print(
+        f"wrote {count} executed queries to {args.output} "
+        f"(median latency {np.median(latencies) / 1000:.2f}s, "
+        f"max {latencies.max() / 1000:.2f}s)"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    samples = load_corpus(args.corpus)
+    latencies = np.array([s.latency_ms for s in samples])
+    templates = Counter(s.template_id for s in samples)
+    operators = Counter(n.op.value for s in samples for n in s.plan.preorder())
+    print(f"{len(samples)} queries, {len(templates)} templates ({samples[0].workload})")
+    print(
+        f"latency: p50={np.median(latencies) / 1000:.2f}s "
+        f"p95={np.percentile(latencies, 95) / 1000:.2f}s "
+        f"max={latencies.max() / 1000:.2f}s"
+    )
+    print(f"mean operators/plan: {np.mean([s.plan.node_count() for s in samples]):.1f}")
+    print("operator mix:", dict(operators.most_common()))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    workbench = Workbench(args.workload, scale_factor=args.scale_factor, seed=args.seed)
+    template = workbench.template_by_id(args.template)
+    rng = np.random.default_rng(args.seed + 2)
+    plan = workbench.plan_query(template, rng)
+    if args.analyze:
+        workbench.execute(plan, rng)
+    print(explain_text(plan, analyze=args.analyze))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.workload")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate an executed-plan corpus")
+    gen.add_argument("--workload", choices=("tpch", "tpcds"), default="tpch")
+    gen.add_argument("-n", type=int, default=500, help="number of queries")
+    gen.add_argument("-o", "--output", required=True)
+    gen.add_argument("--scale-factor", type=float, default=1.0)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(fn=_cmd_generate)
+
+    ins = sub.add_parser("inspect", help="summarize a stored corpus")
+    ins.add_argument("corpus")
+    ins.set_defaults(fn=_cmd_inspect)
+
+    exp = sub.add_parser("explain", help="plan one template instance and print EXPLAIN")
+    exp.add_argument("--workload", choices=("tpch", "tpcds"), default="tpch")
+    exp.add_argument("--template", required=True, help="e.g. tpch_q3")
+    exp.add_argument("--analyze", action="store_true", help="simulate and show actuals")
+    exp.add_argument("--scale-factor", type=float, default=1.0)
+    exp.add_argument("--seed", type=int, default=0)
+    exp.set_defaults(fn=_cmd_explain)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Corpus persistence: save/load executed-plan corpora as JSON lines.
+
+The paper's pipeline collects 20,000 executed queries per benchmark — an
+expensive, run-once step.  This module lets a corpus be collected once
+and reused across training runs and machines, exactly like shipping a
+directory of ``EXPLAIN (ANALYZE, FORMAT JSON)`` outputs.
+
+Format: one JSON object per line::
+
+    {"template_id": ..., "workload": ..., "latency_ms": ..., "plan": {...}}
+
+``plan`` is the ``EXPLAIN (FORMAT JSON)``-style node dict produced by
+:meth:`repro.plans.node.PlanNode.to_dict` (with actuals).  Simulator-
+internal ground truth (``node.truth``) is deliberately *not* persisted:
+a stored corpus contains exactly what a real system would expose.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Union
+
+from repro.plans.node import PlanNode
+
+from .generator import PlanSample
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_corpus(samples: Iterable[PlanSample], path: PathLike) -> int:
+    """Write samples to ``path`` (JSON lines).  Returns the count."""
+    count = 0
+    with open(path, "w") as handle:
+        for sample in samples:
+            record = {
+                "template_id": sample.template_id,
+                "workload": sample.workload,
+                "latency_ms": sample.latency_ms,
+                "plan": sample.plan.to_dict(),
+            }
+            handle.write(json.dumps(record))
+            handle.write("\n")
+            count += 1
+    if count == 0:
+        raise ValueError("refusing to write an empty corpus")
+    return count
+
+
+def load_corpus(path: PathLike) -> list[PlanSample]:
+    """Read a corpus written by :func:`save_corpus`."""
+    samples: list[PlanSample] = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                plan = PlanNode.from_dict(record["plan"])
+                sample = PlanSample(
+                    plan=plan,
+                    latency_ms=float(record["latency_ms"]),
+                    template_id=str(record["template_id"]),
+                    workload=str(record["workload"]),
+                )
+            except (KeyError, ValueError, TypeError) as exc:
+                raise ValueError(f"{path}: malformed corpus record on line {line_no}") from exc
+            samples.append(sample)
+    if not samples:
+        raise ValueError(f"{path}: empty corpus file")
+    return samples

@@ -1,0 +1,126 @@
+"""Corpus generation: templates -> plans -> simulated executions.
+
+This is the reproduction's equivalent of the paper's data collection:
+"20,000 queries were executed ... execution times and execution plans
+were recorded using PostgreSQL's EXPLAIN ANALYZE capability" (§6).  A
+:class:`Workbench` bundles a schema, planner and simulator for one
+benchmark; :meth:`Workbench.generate` produces a corpus of analyzed
+plans (:class:`PlanSample`) with per-operator latencies filled in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.catalog.tpch import tpch_schema
+from repro.catalog.tpcds import tpcds_schema
+from repro.engine.config import HardwareProfile
+from repro.engine.simulator import Simulator
+from repro.optimizer.cost import CostParams
+from repro.optimizer.planner import Planner
+from repro.optimizer.selectivity import SelectivityModel
+from repro.plans.node import PlanNode
+from repro.plans.validate import validate_plan
+
+from .templates_base import QueryTemplate
+from .tpch_templates import TPCH_TEMPLATES
+from .tpcds_templates import TPCDS_TEMPLATES
+
+
+@dataclass
+class PlanSample:
+    """One executed query: an analyzed plan plus its labels."""
+
+    plan: PlanNode
+    latency_ms: float
+    template_id: str
+    workload: str
+
+    @property
+    def n_operators(self) -> int:
+        return self.plan.node_count()
+
+
+class Workbench:
+    """Schema + planner + simulator for one benchmark workload."""
+
+    def __init__(
+        self,
+        workload: str = "tpch",
+        scale_factor: float = 1.0,
+        seed: int = 0,
+        profile: Optional[HardwareProfile] = None,
+        cost_params: Optional[CostParams] = None,
+        templates: Optional[Sequence[QueryTemplate]] = None,
+    ) -> None:
+        if workload == "tpch":
+            self.schema = tpch_schema(scale_factor, seed=seed + 1)
+            default_templates = TPCH_TEMPLATES
+        elif workload == "tpcds":
+            self.schema = tpcds_schema(scale_factor, seed=seed + 2)
+            default_templates = TPCDS_TEMPLATES
+        else:
+            raise ValueError(f"unknown workload {workload!r} (use 'tpch' or 'tpcds')")
+        self.workload = workload
+        self.seed = seed
+        self.templates: tuple[QueryTemplate, ...] = tuple(templates or default_templates)
+        self.planner = Planner(
+            self.schema,
+            cost_params=cost_params,
+            selectivity=SelectivityModel(seed=seed),
+        )
+        self.simulator = Simulator(profile or HardwareProfile(seed=seed))
+
+    # ------------------------------------------------------------------
+    def plan_query(self, template: QueryTemplate, rng: np.random.Generator) -> PlanNode:
+        """Instantiate one query from ``template`` and plan it (no execution)."""
+        spec = template.instantiate(rng, db_seed=self.seed)
+        return self.planner.plan(spec)
+
+    def execute(self, plan: PlanNode, rng: Optional[np.random.Generator] = None) -> float:
+        """Simulate a planned query; annotates actuals, returns latency (ms)."""
+        return self.simulator.execute(plan, rng=rng)
+
+    def sample(self, template: QueryTemplate, rng: np.random.Generator) -> PlanSample:
+        plan = self.plan_query(template, rng)
+        latency = self.execute(plan, rng)
+        return PlanSample(plan, latency, template.template_id, self.workload)
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        n_queries: int,
+        rng: Optional[np.random.Generator] = None,
+        validate: bool = False,
+        templates: Optional[Sequence[QueryTemplate]] = None,
+    ) -> list[PlanSample]:
+        """Generate ``n_queries`` samples, cycling uniformly over templates.
+
+        Cycling (rather than independent sampling) matches how the TPC kits
+        emit query streams and guarantees every template is represented.
+        """
+        if n_queries <= 0:
+            raise ValueError("n_queries must be positive")
+        rng = rng if rng is not None else np.random.default_rng(self.seed)
+        pool = tuple(templates or self.templates)
+        order = np.arange(len(pool))
+        samples: list[PlanSample] = []
+        while len(samples) < n_queries:
+            rng.shuffle(order)
+            for idx in order:
+                if len(samples) >= n_queries:
+                    break
+                sample = self.sample(pool[idx], rng)
+                if validate:
+                    validate_plan(sample.plan, analyzed=True)
+                samples.append(sample)
+        return samples
+
+    def template_by_id(self, template_id: str) -> QueryTemplate:
+        for template in self.templates:
+            if template.template_id == template_id:
+                return template
+        raise KeyError(f"unknown template {template_id!r}")

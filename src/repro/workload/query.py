@@ -1,0 +1,16 @@
+"""Compatibility shim: the query spec lives in :mod:`repro.queryspec`.
+
+It is a standalone top-level module so that :mod:`repro.optimizer` can
+depend on it without importing the :mod:`repro.workload` package (which
+itself depends on the optimizer — the classic layering cycle).
+"""
+
+from repro.queryspec import (  # noqa: F401
+    AggregateSpec,
+    JoinEdge,
+    Predicate,
+    QuerySpec,
+    TableRef,
+)
+
+__all__ = ["AggregateSpec", "JoinEdge", "Predicate", "QuerySpec", "TableRef"]

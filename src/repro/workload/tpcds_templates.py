@@ -1,0 +1,603 @@
+"""The 70 TPC-DS query templates used in the paper's evaluation.
+
+The paper uses the 70 TPC-DS templates that run on PostgreSQL unmodified;
+Figure 8's x-axis lists them.  We reproduce that template set by number:
+each entry models the corresponding TPC-DS query's *plan-relevant* shape —
+which fact table(s) it reads, which dimensions it joins (including
+dimension-of-dimension chains like household_demographics -> income_band),
+its predicate selectivity ranges, grouping, ordering and LIMIT.  SQL
+niceties that do not change the plan shape our substrate supports
+(CASE expressions, windows, UNION branches) are flattened to their
+dominant branch; that approximation is noted in DESIGN.md §2.
+
+Star-join edges are derived from :data:`repro.catalog.tpcds.TPCDS_FK_EDGES`;
+fact-to-fact joins (e.g. sales joined to returns) are plain equi-joins on
+the shared dimension key, exactly how PostgreSQL plans them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.catalog.tpcds import TPCDS_FK_EDGES
+
+from .templates_base import (
+    AggregateTemplate,
+    JoinTemplate,
+    PredicateTemplate,
+    QueryTemplate,
+    TableTemplate,
+    pred,
+)
+
+# (child, parent) -> (child fk column, parent key column); first edge wins
+# when a pair is linked twice (e.g. catalog_sales -> date_dim).
+_FK: dict[tuple[str, str], tuple[str, str]] = {}
+for child, ccol, parent, pcol in TPCDS_FK_EDGES:
+    _FK.setdefault((child, parent), (ccol, pcol))
+
+
+def _fk_edge(child_alias: str, child_table: str, parent_alias: str, parent_table: str) -> JoinTemplate:
+    try:
+        ccol, pcol = _FK[(child_table, parent_table)]
+    except KeyError:
+        raise KeyError(f"no FK edge {child_table} -> {parent_table}") from None
+    return JoinTemplate((child_alias, ccol), (parent_alias, pcol), "inner", fk_side=child_alias)
+
+
+# Canonical predicate ranges per dimension attribute (true selectivities
+# implied by the TPC-DS parameter substitution rules).
+P = {
+    "date.year": lambda: pred("d_year", "=", 0.004, 0.03),
+    "date.moy": lambda: pred("d_moy", "=", 0.080, 0.087),
+    "date.qoy": lambda: pred("d_qoy", "=", 0.24, 0.26),
+    "date.dom": lambda: pred("d_dom", "between", 0.03, 0.35),
+    "item.category": lambda: pred("i_category", "in", 0.08, 0.32),
+    "item.class": lambda: pred("i_class", "in", 0.01, 0.06),
+    "item.brand": lambda: pred("i_brand", "=", 0.001, 0.003),
+    "item.manufact": lambda: pred("i_manufact_id", "=", 0.0008, 0.0015),
+    "item.manager": lambda: pred("i_manager_id", "=", 0.008, 0.012),
+    "item.color": lambda: pred("i_color", "in", 0.02, 0.08),
+    "item.price": lambda: pred("i_current_price", ">", 0.1, 0.5),
+    "store.state": lambda: pred("s_state", "in", 0.10, 0.45),
+    "store.county": lambda: pred("s_county", "in", 0.05, 0.25),
+    "ca.state": lambda: pred("ca_state", "in", 0.02, 0.10),
+    "ca.gmt": lambda: pred("ca_gmt_offset", "=", 0.15, 0.35),
+    "ca.county": lambda: pred("ca_county", "in", 0.001, 0.01),
+    "cd.gender": lambda: pred("cd_gender", "=", 0.49, 0.51),
+    "cd.marital": lambda: pred("cd_marital_status", "=", 0.18, 0.22),
+    "cd.education": lambda: pred("cd_education_status", "=", 0.13, 0.16),
+    "hd.dep": lambda: pred("hd_dep_count", "=", 0.09, 0.11),
+    "hd.buy": lambda: pred("hd_buy_potential", "=", 0.15, 0.18),
+    "hd.vehicle": lambda: pred("hd_vehicle_count", ">", 0.3, 0.6),
+    "promo.email": lambda: pred("p_channel_email", "=", 0.45, 0.55),
+    "time.hour": lambda: pred("t_hour", "between", 0.04, 0.35),
+    "time.meal": lambda: pred("t_meal_time", "=", 0.2, 0.3),
+    "ws.site": lambda: pred("web_class", "=", 0.15, 0.25),
+    "sm.type": lambda: pred("sm_type", "=", 0.15, 0.18),
+    "cc.class": lambda: pred("cc_class", "=", 0.3, 0.36),
+    "reason.desc": lambda: pred("r_reason_desc", "=", 0.02, 0.04),
+    "wh.state": lambda: pred("w_state", "in", 0.1, 0.4),
+    "wp.chars": lambda: pred("wp_char_count", "between", 0.1, 0.4),
+    "cust.year": lambda: pred("c_birth_year", "between", 0.05, 0.3),
+    "cust.flag": lambda: pred("c_preferred_cust_flag", "=", 0.45, 0.55),
+    "inv.qoh": lambda: pred("inv_quantity_on_hand", "between", 0.05, 0.5),
+    "fact.quantity": lambda q="ss": pred(f"{q}_quantity", "between", 0.15, 0.7),
+    "fact.profit": lambda q="ss": pred(f"{q}_net_profit", "between", 0.1, 0.6),
+}
+
+
+def _dim(table: str, *preds: PredicateTemplate, alias: Optional[str] = None, parent: Optional[str] = None):
+    """A dimension joined (via FK) to ``parent`` (default: the fact)."""
+    return (table, alias or table, parent, tuple(preds))
+
+
+class _Builder:
+    """Assembles one star/snowflake QueryTemplate."""
+
+    def __init__(self, number: int, fact: str, fact_preds: tuple = ()) -> None:
+        self.tid = f"tpcds_q{number}"
+        self.tables: list[TableTemplate] = [TableTemplate(fact, None, tuple(fact_preds))]
+        self.joins: list[JoinTemplate] = []
+        self.fact_alias = fact
+        self._alias_tables: dict[str, str] = {fact: fact}
+
+    def add_dims(self, dims, anchor: Optional[str] = None) -> "_Builder":
+        anchor = anchor or self.fact_alias
+        for table, alias, parent, preds in dims:
+            self.tables.append(TableTemplate(table, alias, preds))
+            self._alias_tables[alias] = table
+            parent_alias = parent or anchor
+            child_alias = parent_alias  # FK direction: child holds the FK
+            self.joins.append(
+                _fk_edge(child_alias, self._alias_tables[child_alias], alias, table)
+            )
+        return self
+
+    def add_fact(self, fact2: str, on: tuple[str, str], preds: tuple = ()) -> "_Builder":
+        """Second fact joined on shared dimension keys (non-FK equi-join)."""
+        self.tables.append(TableTemplate(fact2, None, tuple(preds)))
+        self._alias_tables[fact2] = fact2
+        self.joins.append(
+            JoinTemplate((self.fact_alias, on[0]), (fact2, on[1]), "inner", fk_side=None)
+        )
+        return self
+
+    def build(
+        self,
+        agg: Optional[tuple] = None,  # (functions, group_by, gf_range)
+        order: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> QueryTemplate:
+        aggregate = None
+        if agg is not None:
+            functions, group_by, gf = agg
+            aggregate = AggregateTemplate(tuple(functions), tuple(group_by), gf)
+        return QueryTemplate(
+            self.tid,
+            "tpcds",
+            tuple(self.tables),
+            tuple(self.joins),
+            aggregate,
+            (order,) if order else (),
+            limit,
+        )
+
+
+def _build_all() -> tuple[QueryTemplate, ...]:
+    t: list[QueryTemplate] = []
+    GF_TINY = (1e-6, 1e-5)      # handful of groups (states, categories)
+    GF_SMALL = (1e-4, 1e-3)     # hundreds of groups (brands, stores)
+    GF_ITEM = (0.0005, 0.01)    # per-item grouping
+    GF_CUST = (0.05, 0.4)       # per-customer grouping
+
+    def B(num: int, fact: str = "store_sales", fact_preds: tuple = ()) -> _Builder:
+        return _Builder(num, fact, fact_preds)
+
+    # q3: brand revenue by manufacturer for a month.
+    t.append(B(3).add_dims([_dim("date_dim", P["date.moy"]()), _dim("item", P["item.manufact"]())])
+             .build((("sum",), ("item.i_brand",), GF_SMALL), "item.i_brand", 100))
+    # q6: customers by state buying high-priced items.
+    t.append(B(6).add_dims([
+        _dim("date_dim", P["date.year"](), P["date.moy"]()),
+        _dim("item", P["item.price"]()),
+        _dim("customer"),
+        _dim("customer_address", P["ca.state"](), parent="customer"),
+    ]).build((("count",), ("customer_address.ca_state",), GF_TINY), "customer_address.ca_state", 100))
+    # q7: demographic averages per item with promotions.
+    t.append(B(7).add_dims([
+        _dim("customer_demographics", P["cd.gender"](), P["cd.marital"](), P["cd.education"]()),
+        _dim("date_dim", P["date.year"]()),
+        _dim("item"),
+        _dim("promotion", P["promo.email"]()),
+    ]).build((("avg",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk", 100))
+    # q8: store sales by store for preferred zip codes.
+    t.append(B(8).add_dims([
+        _dim("date_dim", P["date.year"](), P["date.qoy"]()),
+        _dim("store"),
+        _dim("customer"),
+        _dim("customer_address", P["ca.gmt"](), parent="customer"),
+    ]).build((("sum",), ("store.s_store_sk",), GF_SMALL), "store.s_store_sk", 100))
+    # q9: bucketed quantity statistics over store_sales.
+    t.append(B(9, fact_preds=(P["fact.quantity"]("ss"), P["fact.profit"]("ss")))
+             .build((("avg", "count"), (), GF_TINY)))
+    # q13: heavily filtered demographic averages.
+    t.append(B(13).add_dims([
+        _dim("store", P["store.state"]()),
+        _dim("customer_demographics", P["cd.marital"](), P["cd.education"]()),
+        _dim("household_demographics", P["hd.dep"]()),
+        _dim("customer_address", P["ca.state"]()),
+        _dim("date_dim", P["date.year"]()),
+    ]).build((("avg",), (), GF_TINY)))
+    # q15: catalog sales by customer state for a quarter.
+    t.append(B(15, "catalog_sales").add_dims([
+        _dim("customer"),
+        _dim("customer_address", P["ca.state"](), parent="customer"),
+        _dim("date_dim", P["date.year"](), P["date.qoy"]()),
+    ]).build((("sum",), ("customer_address.ca_state",), GF_TINY), "customer_address.ca_state", 100))
+    # q17: sales paired with returns across channels and quarters.
+    t.append(B(17).add_dims([
+        _dim("date_dim", P["date.qoy"](), P["date.year"]()),
+        _dim("store", P["store.state"]()),
+        _dim("item"),
+    ]).add_fact("store_returns", ("ss_item_sk", "sr_item_sk"))
+      .build((("avg", "count"), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk", 100))
+    # q18: catalog sales demographics by item.
+    t.append(B(18, "catalog_sales").add_dims([
+        _dim("customer_demographics", P["cd.gender"](), P["cd.education"]()),
+        _dim("customer"),
+        _dim("customer_address", P["ca.state"](), parent="customer"),
+        _dim("date_dim", P["date.year"]()),
+        _dim("item"),
+    ]).build((("avg",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk", 100))
+    # q19: brand revenue by manager for a month, customer geography.
+    t.append(B(19).add_dims([
+        _dim("date_dim", P["date.year"](), P["date.moy"]()),
+        _dim("item", P["item.manager"]()),
+        _dim("customer"),
+        _dim("customer_address", parent="customer"),
+        _dim("store"),
+    ]).build((("sum",), ("item.i_brand",), GF_SMALL), "item.i_brand", 100))
+    # q22: inventory quantity-on-hand averages by item.
+    t.append(B(22, "inventory").add_dims([
+        _dim("date_dim", P["date.year"]()),
+        _dim("item"),
+    ]).build((("avg",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk", 100))
+    # q24: returned-then-repurchased store sales by customer geography.
+    t.append(B(24).add_dims([
+        _dim("store", P["store.state"]()),
+        _dim("item", P["item.color"]()),
+        _dim("customer"),
+        _dim("customer_address", parent="customer"),
+    ]).add_fact("store_returns", ("ss_item_sk", "sr_item_sk"))
+      .build((("sum",), ("customer.c_customer_sk",), GF_CUST)))
+    # q25: sales/returns profit rollup by store and item.
+    t.append(B(25).add_dims([
+        _dim("date_dim", P["date.year"](), P["date.moy"]()),
+        _dim("store"),
+        _dim("item"),
+    ]).add_fact("store_returns", ("ss_customer_sk", "sr_customer_sk"))
+      .build((("sum",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk", 100))
+    # q26: catalog sales demographic averages per item.
+    t.append(B(26, "catalog_sales").add_dims([
+        _dim("customer_demographics", P["cd.gender"](), P["cd.marital"]()),
+        _dim("date_dim", P["date.year"]()),
+        _dim("item"),
+        _dim("promotion", P["promo.email"]()),
+    ]).build((("avg",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk", 100))
+    # q27: store sales demographic averages per item and state.
+    t.append(B(27).add_dims([
+        _dim("customer_demographics", P["cd.gender"](), P["cd.marital"](), P["cd.education"]()),
+        _dim("date_dim", P["date.year"]()),
+        _dim("store", P["store.state"]()),
+        _dim("item"),
+    ]).build((("avg",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk", 100))
+    # q28: six price-bucket scans of store_sales (flattened to one).
+    t.append(B(28, fact_preds=(P["fact.quantity"]("ss"), P["fact.profit"]("ss")))
+             .build((("avg", "count"), (), GF_TINY), None, 100))
+    # q29: quantity sold/returned by item and store.
+    t.append(B(29).add_dims([
+        _dim("date_dim", P["date.moy"](), P["date.year"]()),
+        _dim("store"),
+        _dim("item"),
+    ]).add_fact("store_returns", ("ss_item_sk", "sr_item_sk"))
+      .build((("sum",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk", 100))
+    # q30: web returns per customer by state.
+    t.append(B(30, "web_returns").add_dims([
+        _dim("date_dim", P["date.year"]()),
+        _dim("customer"),
+        _dim("customer_address", P["ca.state"](), parent="customer"),
+    ]).build((("sum",), ("customer.c_customer_sk",), GF_CUST), "customer.c_customer_sk", 100))
+    # q31: store vs web sales growth by county (two channels).
+    t.append(B(31).add_dims([
+        _dim("date_dim", P["date.qoy"](), P["date.year"]()),
+        _dim("customer_address"),
+    ]).add_fact("web_sales", ("ss_addr_sk", "ws_bill_addr_sk"))
+      .build((("sum",), ("customer_address.ca_county",), GF_SMALL)))
+    # q33: manufacturer revenue for items in a category by geography.
+    t.append(B(33).add_dims([
+        _dim("date_dim", P["date.year"](), P["date.moy"]()),
+        _dim("item", P["item.manufact"]()),
+        _dim("customer_address", P["ca.gmt"]()),
+    ]).build((("sum",), ("item.i_manufact_id",), GF_SMALL), "item.i_manufact_id", 100))
+    # q38: distinct customers across channels for a month span.
+    t.append(B(38).add_dims([
+        _dim("date_dim", P["date.moy"]()),
+        _dim("customer"),
+    ]).build((("count",), ("customer.c_customer_sk",), GF_CUST), None, 100))
+    # q39: inventory variance by item and warehouse.
+    t.append(B(39, "inventory", fact_preds=(P["inv.qoh"](),)).add_dims([
+        _dim("item"),
+        _dim("warehouse"),
+        _dim("date_dim", P["date.moy"]()),
+    ]).build((("avg",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk"))
+    # q41: distinct item manufacturers with attribute filters (dim-only).
+    t.append(B(41, "item", fact_preds=(P["item.color"](), P["item.category"]()))
+             .build((("count",), ("item.i_manufact_id",), (0.01, 0.1)), "item.i_manufact_id", 100))
+    # q42: category revenue for a month.
+    t.append(B(42).add_dims([
+        _dim("date_dim", P["date.year"](), P["date.moy"]()),
+        _dim("item", P["item.category"]()),
+    ]).build((("sum",), ("item.i_category",), GF_TINY), "item.i_category", 100))
+    # q43: store revenue by day-of-week.
+    t.append(B(43).add_dims([
+        _dim("date_dim", P["date.year"]()),
+        _dim("store", P["store.state"]()),
+    ]).build((("sum",), ("store.s_store_sk",), GF_SMALL), "store.s_store_sk", 100))
+    # q44: best/worst performing items by store.
+    t.append(B(44, fact_preds=(P["fact.profit"]("ss"),)).add_dims([
+        _dim("item"),
+    ]).build((("avg",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk", 100))
+    # q45: web sales by customer zip for a quarter.
+    t.append(B(45, "web_sales").add_dims([
+        _dim("customer"),
+        _dim("customer_address", P["ca.state"](), parent="customer"),
+        _dim("date_dim", P["date.qoy"](), P["date.year"]()),
+        _dim("item"),
+    ]).build((("sum",), ("customer_address.ca_city",), GF_SMALL), "customer_address.ca_city", 100))
+    # q46: store sales to customers in specific cities by demographics.
+    t.append(B(46).add_dims([
+        _dim("date_dim", P["date.dom"]()),
+        _dim("store", P["store.county"]()),
+        _dim("household_demographics", P["hd.dep"]()),
+        _dim("customer_address"),
+        _dim("customer"),
+    ]).build((("sum",), ("customer.c_customer_sk",), GF_CUST), "customer.c_customer_sk", 100))
+    # q48: quantity sold under conjunctive demographic/address filters.
+    t.append(B(48).add_dims([
+        _dim("store", P["store.state"]()),
+        _dim("customer_demographics", P["cd.marital"](), P["cd.education"]()),
+        _dim("customer_address", P["ca.state"]()),
+        _dim("date_dim", P["date.year"]()),
+    ]).build((("sum",), (), GF_TINY)))
+    # q49: worst return ratios by channel (web branch).
+    t.append(B(49, "web_sales", fact_preds=(P["fact.quantity"]("ws"),)).add_dims([
+        _dim("date_dim", P["date.year"](), P["date.moy"]()),
+        _dim("item"),
+    ]).add_fact("web_returns", ("ws_item_sk", "wr_item_sk"))
+      .build((("sum",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk", 100))
+    # q50: returns latency buckets by store.
+    t.append(B(50).add_dims([
+        _dim("store"),
+        _dim("date_dim", P["date.year"](), P["date.moy"]()),
+    ]).add_fact("store_returns", ("ss_customer_sk", "sr_customer_sk"))
+      .build((("count",), ("store.s_store_sk",), GF_SMALL), "store.s_store_sk", 100))
+    # q51: cumulative web vs store revenue per item (two channels).
+    t.append(B(51).add_dims([
+        _dim("date_dim", P["date.moy"]()),
+    ]).add_fact("web_sales", ("ss_item_sk", "ws_item_sk"))
+      .build((("sum",), ("date_dim.d_date_sk",), GF_SMALL)))
+    # q52: brand revenue for a month (like q3 without manufacturer).
+    t.append(B(52).add_dims([
+        _dim("date_dim", P["date.year"](), P["date.moy"]()),
+        _dim("item", P["item.manager"]()),
+    ]).build((("sum",), ("item.i_brand",), GF_SMALL), "item.i_brand", 100))
+    # q53: manufacturer quarterly revenue in selected categories.
+    t.append(B(53).add_dims([
+        _dim("item", P["item.category"](), P["item.class"]()),
+        _dim("date_dim", P["date.moy"]()),
+        _dim("store"),
+    ]).build((("sum",), ("item.i_manufact_id",), GF_SMALL), "item.i_manufact_id", 100))
+    # q54: customers buying from a category then revisiting.
+    t.append(B(54, "catalog_sales").add_dims([
+        _dim("item", P["item.category"](), P["item.class"]()),
+        _dim("date_dim", P["date.moy"](), P["date.year"]()),
+        _dim("customer"),
+        _dim("customer_address", P["ca.county"](), parent="customer"),
+    ]).build((("count",), ("customer.c_customer_sk",), GF_CUST), "customer.c_customer_sk", 100))
+    # q55: brand revenue by manager for a month.
+    t.append(B(55).add_dims([
+        _dim("date_dim", P["date.moy"](), P["date.year"]()),
+        _dim("item", P["item.manager"]()),
+    ]).build((("sum",), ("item.i_brand",), GF_SMALL), "item.i_brand", 100))
+    # q56: item color revenue by geography (store branch).
+    t.append(B(56).add_dims([
+        _dim("date_dim", P["date.year"](), P["date.moy"]()),
+        _dim("item", P["item.color"]()),
+        _dim("customer_address", P["ca.gmt"]()),
+    ]).build((("sum",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk", 100))
+    # q57: call-center catalog revenue deviations per item month.
+    t.append(B(57, "catalog_sales").add_dims([
+        _dim("item", P["item.category"]()),
+        _dim("date_dim", P["date.year"]()),
+        _dim("call_center"),
+    ]).build((("avg",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk", 100))
+    # q58: items selling equally across channels on a date.
+    t.append(B(58).add_dims([
+        _dim("date_dim", P["date.dom"]()),
+        _dim("item"),
+    ]).add_fact("catalog_sales", ("ss_item_sk", "cs_item_sk"))
+      .build((("sum",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk", 100))
+    # q59: week-over-week store revenue.
+    t.append(B(59).add_dims([
+        _dim("date_dim", P["date.moy"]()),
+        _dim("store"),
+    ]).build((("sum",), ("store.s_store_sk",), GF_SMALL), "store.s_store_sk", 100))
+    # q60: category revenue by geography for a month.
+    t.append(B(60).add_dims([
+        _dim("date_dim", P["date.year"](), P["date.moy"]()),
+        _dim("item", P["item.category"]()),
+        _dim("customer_address", P["ca.gmt"]()),
+    ]).build((("sum",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk", 100))
+    # q61: promotional vs total revenue in a geography.
+    t.append(B(61).add_dims([
+        _dim("store", P["store.state"]()),
+        _dim("promotion", P["promo.email"]()),
+        _dim("date_dim", P["date.year"](), P["date.moy"]()),
+        _dim("customer"),
+        _dim("customer_address", P["ca.gmt"](), parent="customer"),
+        _dim("item", P["item.category"]()),
+    ]).build((("sum",), (), GF_TINY), None, 100))
+    # q62: web shipping latency buckets by warehouse/mode/site.
+    t.append(B(62, "web_sales").add_dims([
+        _dim("warehouse"),
+        _dim("ship_mode"),
+        _dim("web_site"),
+        _dim("date_dim", P["date.moy"]()),
+    ]).build((("count",), ("ship_mode.sm_type",), GF_TINY), "ship_mode.sm_type", 100))
+    # q63: manager monthly revenue in selected item classes.
+    t.append(B(63).add_dims([
+        _dim("item", P["item.category"](), P["item.class"]()),
+        _dim("date_dim", P["date.moy"]()),
+        _dim("store"),
+    ]).build((("sum",), ("item.i_manager_id",), GF_SMALL), "item.i_manager_id", 100))
+    # q64: cross-channel repeat purchases with full customer snowflake.
+    t.append(B(64).add_dims([
+        _dim("date_dim", P["date.year"]()),
+        _dim("store"),
+        _dim("item", P["item.color"]()),
+        _dim("customer"),
+        _dim("customer_address", parent="customer"),
+        _dim("household_demographics", parent="customer"),
+    ]).add_fact("store_returns", ("ss_item_sk", "sr_item_sk"))
+      .build((("count",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk"))
+    # q65: lowest-revenue items per store.
+    t.append(B(65).add_dims([
+        _dim("store"),
+        _dim("item"),
+        _dim("date_dim", P["date.moy"]()),
+    ]).build((("sum",), ("store.s_store_sk",), GF_SMALL), "store.s_store_sk", 100))
+    # q66: warehouse shipping volumes web+catalog by month.
+    t.append(B(66, "web_sales").add_dims([
+        _dim("warehouse", P["wh.state"]()),
+        _dim("ship_mode", P["sm.type"]()),
+        _dim("web_site"),
+        _dim("date_dim", P["date.year"]()),
+    ]).build((("sum",), ("warehouse.w_warehouse_sk",), GF_TINY), "warehouse.w_warehouse_sk", 100))
+    # q67: store sales rollup by item over a quarter.
+    t.append(B(67).add_dims([
+        _dim("date_dim", P["date.moy"]()),
+        _dim("store"),
+        _dim("item"),
+    ]).build((("sum",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk", 100))
+    # q68: city-level purchases with demographic filters.
+    t.append(B(68).add_dims([
+        _dim("date_dim", P["date.dom"]()),
+        _dim("store", P["store.county"]()),
+        _dim("household_demographics", P["hd.dep"]()),
+        _dim("customer_address"),
+        _dim("customer"),
+    ]).build((("sum",), ("customer.c_customer_sk",), GF_CUST), "customer.c_customer_sk", 100))
+    # q69: demographic profile of store-only customers.
+    t.append(B(69).add_dims([
+        _dim("customer"),
+        _dim("customer_address", P["ca.state"](), parent="customer"),
+        _dim("customer_demographics", parent="customer"),
+        _dim("date_dim", P["date.year"](), P["date.qoy"]()),
+    ]).build((("count",), ("customer_demographics.cd_gender",), GF_TINY), "customer_demographics.cd_gender", 100))
+    # q71: brand revenue by hour for a month (breakfast/dinner).
+    t.append(B(71).add_dims([
+        _dim("date_dim", P["date.moy"](), P["date.year"]()),
+        _dim("item", P["item.manager"]()),
+        _dim("time_dim", P["time.meal"]()),
+    ]).build((("sum",), ("item.i_brand",), GF_SMALL), "item.i_brand"))
+    # q72: catalog sales vs inventory availability (the TPC-DS beast).
+    t.append(B(72, "catalog_sales").add_dims([
+        _dim("item"),
+        _dim("customer"),
+        _dim("household_demographics", P["hd.buy"](), parent="customer"),
+        _dim("date_dim", P["date.year"]()),
+    ]).add_fact("inventory", ("cs_item_sk", "inv_item_sk"), preds=(P["inv.qoh"](),))
+      .build((("count",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk", 100))
+    # q73: frequent-shopper households.
+    t.append(B(73).add_dims([
+        _dim("date_dim", P["date.dom"]()),
+        _dim("store", P["store.county"]()),
+        _dim("household_demographics", P["hd.buy"](), P["hd.vehicle"]()),
+    ]).build((("count",), ("store_sales.ss_customer_sk",), GF_CUST), "store_sales.ss_customer_sk"))
+    # q75: catalog sales vs returns by year/category.
+    t.append(B(75, "catalog_sales").add_dims([
+        _dim("date_dim", P["date.year"]()),
+        _dim("item", P["item.category"]()),
+    ]).add_fact("catalog_returns", ("cs_item_sk", "cr_item_sk"))
+      .build((("sum",), ("item.i_brand",), GF_SMALL)))
+    # q76: null-channel sales counts by category (store branch).
+    t.append(B(76).add_dims([
+        _dim("item", P["item.category"]()),
+        _dim("date_dim", P["date.qoy"]()),
+    ]).build((("count",), ("item.i_category",), GF_TINY), "item.i_category", 100))
+    # q78: store vs web sales ratios per item/customer-year.
+    t.append(B(78).add_dims([
+        _dim("date_dim", P["date.year"]()),
+    ]).add_fact("web_sales", ("ss_item_sk", "ws_item_sk"))
+      .build((("sum",), ("store_sales.ss_item_sk",), GF_ITEM), "store_sales.ss_item_sk", 100))
+    # q79: per-customer store purchases with demographics.
+    t.append(B(79).add_dims([
+        _dim("date_dim", P["date.dom"]()),
+        _dim("store", P["store.county"]()),
+        _dim("household_demographics", P["hd.dep"]()),
+        _dim("customer"),
+    ]).build((("sum",), ("customer.c_customer_sk",), GF_CUST), "customer.c_customer_sk", 100))
+    # q81: catalog returns per customer above state average.
+    t.append(B(81, "catalog_returns").add_dims([
+        _dim("date_dim", P["date.year"]()),
+        _dim("customer"),
+        _dim("customer_address", P["ca.state"](), parent="customer"),
+    ]).build((("sum",), ("customer.c_customer_sk",), GF_CUST), "customer.c_customer_sk", 100))
+    # q83: returned items across channels on shared dates.
+    t.append(B(83, "store_returns").add_dims([
+        _dim("date_dim", P["date.dom"]()),
+        _dim("item"),
+    ]).build((("sum",), ("item.i_item_sk",), GF_ITEM), "item.i_item_sk", 100))
+    # q84: customers in a city by income band (snowflake to income_band).
+    t.append(B(84, "store_returns").add_dims([
+        _dim("customer"),
+        _dim("customer_address", P["ca.county"](), parent="customer"),
+        _dim("customer_demographics", parent="customer"),
+        _dim("household_demographics", parent="customer"),
+        _dim("income_band", parent="household_demographics"),
+    ]).build((("count",), ("customer.c_customer_sk",), GF_CUST), "customer.c_customer_sk", 100))
+    # q85: web returns with demographic/address/reason breakdown.
+    t.append(B(85, "web_returns").add_dims([
+        _dim("date_dim", P["date.year"]()),
+        _dim("customer"),
+        _dim("customer_demographics", P["cd.marital"](), P["cd.education"](), parent="customer"),
+        _dim("customer_address", P["ca.state"](), parent="customer"),
+        _dim("reason"),
+    ]).build((("avg",), ("reason.r_reason_desc",), GF_TINY), "reason.r_reason_desc", 100))
+    # q87: distinct customer cohort differences across channels.
+    t.append(B(87).add_dims([
+        _dim("date_dim", P["date.moy"]()),
+        _dim("customer"),
+    ]).build((("count",), (), GF_TINY)))
+    # q88: store traffic by half-hour buckets (one bucket modelled).
+    t.append(B(88).add_dims([
+        _dim("household_demographics", P["hd.dep"]()),
+        _dim("time_dim", P["time.hour"]()),
+        _dim("store", P["store.state"]()),
+    ]).build((("count",), (), GF_TINY)))
+    # q89: category/class monthly revenue deviations.
+    t.append(B(89).add_dims([
+        _dim("item", P["item.category"]()),
+        _dim("date_dim", P["date.year"]()),
+        _dim("store"),
+    ]).build((("sum",), ("item.i_class",), GF_TINY), "item.i_class", 100))
+    # q90: am/pm web sales ratio.
+    t.append(B(90, "web_sales").add_dims([
+        _dim("customer"),
+        _dim("household_demographics", P["hd.dep"](), parent="customer"),
+        _dim("web_page", P["wp.chars"]()),
+    ]).build((("count",), (), GF_TINY)))
+    # q91: call-center catalog return losses by demographics.
+    t.append(B(91, "catalog_returns").add_dims([
+        _dim("call_center"),
+        _dim("date_dim", P["date.year"](), P["date.moy"]()),
+        _dim("customer"),
+        _dim("customer_demographics", P["cd.marital"](), P["cd.education"](), parent="customer"),
+        _dim("household_demographics", P["hd.buy"](), parent="customer"),
+        _dim("customer_address", P["ca.gmt"](), parent="customer"),
+    ]).build((("sum",), ("call_center.cc_call_center_sk",), GF_TINY), "call_center.cc_call_center_sk"))
+    # q93: store sales net of returns per customer.
+    t.append(B(93, "store_returns").add_dims([
+        _dim("reason", P["reason.desc"]()),
+    ]).add_fact("store_sales", ("sr_item_sk", "ss_item_sk"))
+      .build((("sum",), ("store_sales.ss_customer_sk",), GF_CUST), "store_sales.ss_customer_sk", 100))
+    # q96: store traffic for a demographic at an hour.
+    t.append(B(96).add_dims([
+        _dim("household_demographics", P["hd.dep"]()),
+        _dim("time_dim", P["time.hour"]()),
+        _dim("store", P["store.state"]()),
+    ]).build((("count",), (), GF_TINY), None, 100))
+    # q97: store/catalog purchase overlap by customer.
+    t.append(B(97).add_dims([
+        _dim("date_dim", P["date.moy"]()),
+    ]).add_fact("catalog_sales", ("ss_customer_sk", "cs_bill_customer_sk"))
+      .build((("count",), (), GF_TINY)))
+    # q98: category/class revenue shares for a month.
+    t.append(B(98).add_dims([
+        _dim("date_dim", P["date.moy"]()),
+        _dim("item", P["item.category"]()),
+    ]).build((("sum",), ("item.i_class",), GF_TINY), "item.i_class"))
+    return tuple(t)
+
+
+TPCDS_TEMPLATES: tuple[QueryTemplate, ...] = _build_all()
+
+#: Template numbers in Figure 8's x-axis order.
+TPCDS_TEMPLATE_NUMBERS: tuple[int, ...] = tuple(
+    int(t.template_id.removeprefix("tpcds_q")) for t in TPCDS_TEMPLATES
+)
+
+
+def tpcds_template_ids() -> list[str]:
+    return [t.template_id for t in TPCDS_TEMPLATES]

@@ -1,0 +1,390 @@
+"""The 22 TPC-H query templates.
+
+Each template captures the join shape, predicate structure, aggregation
+and ordering of the corresponding TPC-H query at the fidelity the planner
+and featurizer need (tables touched, join graph with FK directions,
+predicate selectivity ranges taken from the TPC-H parameter substitution
+rules, GROUP BY / ORDER BY / LIMIT shape).  Subquery logic is flattened
+into semi/anti joins, as PostgreSQL's planner itself does for these
+queries.
+"""
+
+from __future__ import annotations
+
+from .templates_base import (
+    AggregateTemplate,
+    JoinTemplate,
+    QueryTemplate,
+    TableTemplate,
+    pred,
+)
+
+
+def _t(table: str, *predicates, alias: str | None = None) -> TableTemplate:
+    return TableTemplate(table, alias, tuple(predicates))
+
+
+def _j(left: str, right: str, join_type: str = "inner", fk: str | None = "left") -> JoinTemplate:
+    """Join helper: ``left``/``right`` are 'alias.column' strings.
+
+    ``fk`` names which side holds the foreign key ('left'/'right'/None).
+    """
+    la, lc = left.split(".")
+    ra, rc = right.split(".")
+    fk_side = {"left": la, "right": ra, None: None}[fk]
+    return JoinTemplate((la, lc), (ra, rc), join_type, fk_side)
+
+
+def _agg(functions, group_by=(), gf=(0.001, 0.05)) -> AggregateTemplate:
+    return AggregateTemplate(tuple(functions), tuple(group_by), gf)
+
+
+TPCH_TEMPLATES: tuple[QueryTemplate, ...] = (
+    # Q1: pricing summary report — big lineitem scan, group aggregation.
+    QueryTemplate(
+        "tpch_q1", "tpch",
+        ( _t("lineitem", pred("l_shipdate", "<", 0.90, 0.99)), ),
+        (),
+        _agg(("sum", "avg", "count"), ("lineitem.l_returnflag",), (1e-6, 1e-5)),
+        ("lineitem.l_returnflag",),
+    ),
+    # Q2: minimum cost supplier — 5-way dimension-heavy join, top 100.
+    QueryTemplate(
+        "tpch_q2", "tpch",
+        (
+            _t("part", pred("p_size", "=", 0.015, 0.025), pred("p_type", "in", 0.12, 0.22)),
+            _t("partsupp"),
+            _t("supplier"),
+            _t("nation"),
+            _t("region", pred("r_name", "=", 0.18, 0.22)),
+        ),
+        (
+            _j("partsupp.ps_partkey", "part.p_partkey"),
+            _j("partsupp.ps_suppkey", "supplier.s_suppkey"),
+            _j("supplier.s_nationkey", "nation.n_nationkey"),
+            _j("nation.n_regionkey", "region.r_regionkey"),
+        ),
+        None,
+        ("supplier.s_acctbal",),
+        100,
+    ),
+    # Q3: shipping priority — customer x orders x lineitem, top 10.
+    QueryTemplate(
+        "tpch_q3", "tpch",
+        (
+            _t("customer", pred("c_mktsegment", "=", 0.18, 0.22)),
+            _t("orders", pred("o_orderdate", "<", 0.45, 0.52)),
+            _t("lineitem", pred("l_shipdate", ">", 0.50, 0.56)),
+        ),
+        (
+            _j("orders.o_custkey", "customer.c_custkey"),
+            _j("lineitem.l_orderkey", "orders.o_orderkey"),
+        ),
+        _agg(("sum",), ("lineitem.l_orderkey",), (0.1, 0.5)),
+        ("orders.o_orderdate",),
+        10,
+    ),
+    # Q4: order priority checking — orders semi-join lineitem.
+    QueryTemplate(
+        "tpch_q4", "tpch",
+        (
+            _t("orders", pred("o_orderdate", "between", 0.03, 0.045)),
+            _t("lineitem", pred("l_commitdate", "<", 0.55, 0.68)),
+        ),
+        ( _j("orders.o_orderkey", "lineitem.l_orderkey", join_type="semi", fk="right"), ),
+        _agg(("count",), ("orders.o_orderpriority",), (1e-6, 1e-5)),
+        ("orders.o_orderpriority",),
+    ),
+    # Q5: local supplier volume — 6-way join with region filter.
+    QueryTemplate(
+        "tpch_q5", "tpch",
+        (
+            _t("customer"),
+            _t("orders", pred("o_orderdate", "between", 0.14, 0.16)),
+            _t("lineitem"),
+            _t("supplier"),
+            _t("nation"),
+            _t("region", pred("r_name", "=", 0.18, 0.22)),
+        ),
+        (
+            _j("orders.o_custkey", "customer.c_custkey"),
+            _j("lineitem.l_orderkey", "orders.o_orderkey"),
+            _j("lineitem.l_suppkey", "supplier.s_suppkey"),
+            _j("supplier.s_nationkey", "nation.n_nationkey"),
+            _j("nation.n_regionkey", "region.r_regionkey"),
+        ),
+        _agg(("sum",), ("nation.n_name",), (1e-6, 1e-5)),
+        ("nation.n_name",),
+    ),
+    # Q6: forecasting revenue change — single scan, three predicates.
+    QueryTemplate(
+        "tpch_q6", "tpch",
+        (
+            _t(
+                "lineitem",
+                pred("l_shipdate", "between", 0.14, 0.16),
+                pred("l_discount", "between", 0.25, 0.30),
+                pred("l_quantity", "<", 0.45, 0.50),
+            ),
+        ),
+        (),
+        _agg(("sum",)),
+    ),
+    # Q7: volume shipping — supplier/customer nations with date filter.
+    QueryTemplate(
+        "tpch_q7", "tpch",
+        (
+            _t("supplier"),
+            _t("lineitem", pred("l_shipdate", "between", 0.28, 0.32)),
+            _t("orders"),
+            _t("customer"),
+            _t("nation", pred("n_name", "in", 0.06, 0.10)),
+        ),
+        (
+            _j("lineitem.l_suppkey", "supplier.s_suppkey"),
+            _j("lineitem.l_orderkey", "orders.o_orderkey"),
+            _j("orders.o_custkey", "customer.c_custkey"),
+            _j("supplier.s_nationkey", "nation.n_nationkey"),
+        ),
+        _agg(("sum",), ("nation.n_name",), (1e-5, 1e-4)),
+        ("nation.n_name",),
+    ),
+    # Q8: national market share — widest TPC-H join (7 tables).
+    QueryTemplate(
+        "tpch_q8", "tpch",
+        (
+            _t("part", pred("p_type", "=", 0.005, 0.008)),
+            _t("supplier"),
+            _t("lineitem"),
+            _t("orders", pred("o_orderdate", "between", 0.28, 0.32)),
+            _t("customer"),
+            _t("nation"),
+            _t("region", pred("r_name", "=", 0.18, 0.22)),
+        ),
+        (
+            _j("lineitem.l_partkey", "part.p_partkey"),
+            _j("lineitem.l_suppkey", "supplier.s_suppkey"),
+            _j("lineitem.l_orderkey", "orders.o_orderkey"),
+            _j("orders.o_custkey", "customer.c_custkey"),
+            _j("customer.c_nationkey", "nation.n_nationkey"),
+            _j("nation.n_regionkey", "region.r_regionkey"),
+        ),
+        _agg(("sum",), ("orders.o_orderdate",), (1e-6, 1e-5)),
+        ("orders.o_orderdate",),
+    ),
+    # Q9: product type profit — 6-way join grouped by nation/year.
+    QueryTemplate(
+        "tpch_q9", "tpch",
+        (
+            _t("part", pred("p_name", "in", 0.04, 0.06)),
+            _t("supplier"),
+            _t("lineitem"),
+            _t("partsupp"),
+            _t("orders"),
+            _t("nation"),
+        ),
+        (
+            _j("lineitem.l_partkey", "part.p_partkey"),
+            _j("lineitem.l_suppkey", "supplier.s_suppkey"),
+            _j("partsupp.ps_partkey", "part.p_partkey"),
+            _j("lineitem.l_orderkey", "orders.o_orderkey"),
+            _j("supplier.s_nationkey", "nation.n_nationkey"),
+        ),
+        _agg(("sum",), ("nation.n_name",), (1e-4, 1e-3)),
+        ("nation.n_name",),
+    ),
+    # Q10: returned item reporting — top 20 customers by lost revenue.
+    QueryTemplate(
+        "tpch_q10", "tpch",
+        (
+            _t("customer"),
+            _t("orders", pred("o_orderdate", "between", 0.03, 0.04)),
+            _t("lineitem", pred("l_returnflag", "=", 0.24, 0.26)),
+            _t("nation"),
+        ),
+        (
+            _j("orders.o_custkey", "customer.c_custkey"),
+            _j("lineitem.l_orderkey", "orders.o_orderkey"),
+            _j("customer.c_nationkey", "nation.n_nationkey"),
+        ),
+        _agg(("sum",), ("customer.c_custkey",), (0.2, 0.6)),
+        ("customer.c_acctbal",),
+        20,
+    ),
+    # Q11: important stock identification — partsupp by nation.
+    QueryTemplate(
+        "tpch_q11", "tpch",
+        (
+            _t("partsupp"),
+            _t("supplier"),
+            _t("nation", pred("n_name", "=", 0.035, 0.045)),
+        ),
+        (
+            _j("partsupp.ps_suppkey", "supplier.s_suppkey"),
+            _j("supplier.s_nationkey", "nation.n_nationkey"),
+        ),
+        _agg(("sum",), ("partsupp.ps_partkey",), (0.6, 0.95)),
+        ("partsupp.ps_supplycost",),
+    ),
+    # Q12: shipping modes and order priority.
+    QueryTemplate(
+        "tpch_q12", "tpch",
+        (
+            _t("orders"),
+            _t(
+                "lineitem",
+                pred("l_shipmode", "in", 0.26, 0.30),
+                pred("l_receiptdate", "between", 0.14, 0.16),
+            ),
+        ),
+        ( _j("lineitem.l_orderkey", "orders.o_orderkey"), ),
+        _agg(("sum",), ("lineitem.l_shipmode",), (1e-6, 1e-5)),
+        ("lineitem.l_shipmode",),
+    ),
+    # Q13: customer distribution — customers without matching orders.
+    QueryTemplate(
+        "tpch_q13", "tpch",
+        (
+            _t("customer"),
+            _t("orders", pred("o_orderpriority", "in", 0.96, 0.99)),
+        ),
+        ( _j("customer.c_custkey", "orders.o_custkey", join_type="anti", fk="right"), ),
+        _agg(("count",), ("customer.c_custkey",), (0.8, 0.99)),
+        ("customer.c_custkey",),
+    ),
+    # Q14: promotion effect — lineitem x part over one month.
+    QueryTemplate(
+        "tpch_q14", "tpch",
+        (
+            _t("lineitem", pred("l_shipdate", "between", 0.012, 0.016)),
+            _t("part"),
+        ),
+        ( _j("lineitem.l_partkey", "part.p_partkey"), ),
+        _agg(("sum",)),
+    ),
+    # Q15: top supplier — revenue per supplier over a quarter.
+    QueryTemplate(
+        "tpch_q15", "tpch",
+        (
+            _t("lineitem", pred("l_shipdate", "between", 0.035, 0.045)),
+            _t("supplier"),
+        ),
+        ( _j("lineitem.l_suppkey", "supplier.s_suppkey"), ),
+        _agg(("sum",), ("supplier.s_suppkey",), (0.001, 0.01)),
+        ("supplier.s_suppkey",),
+    ),
+    # Q16: parts/supplier relationship — anti join against supplier.
+    QueryTemplate(
+        "tpch_q16", "tpch",
+        (
+            _t(
+                "part",
+                pred("p_brand", "=", 0.94, 0.97),
+                pred("p_size", "in", 0.15, 0.17),
+            ),
+            _t("partsupp"),
+            _t("supplier", pred("s_name", "in", 0.0004, 0.001)),
+        ),
+        (
+            _j("partsupp.ps_partkey", "part.p_partkey"),
+            _j("partsupp.ps_suppkey", "supplier.s_suppkey", join_type="anti", fk="left"),
+        ),
+        _agg(("count",), ("part.p_brand",), (0.001, 0.01)),
+        ("part.p_brand",),
+    ),
+    # Q17: small-quantity-order revenue — selective part filter.
+    QueryTemplate(
+        "tpch_q17", "tpch",
+        (
+            _t("lineitem", pred("l_quantity", "<", 0.25, 0.30)),
+            _t("part", pred("p_brand", "=", 0.035, 0.045), pred("p_container", "=", 0.02, 0.03)),
+        ),
+        ( _j("lineitem.l_partkey", "part.p_partkey"), ),
+        _agg(("sum", "avg")),
+    ),
+    # Q18: large volume customer — top 100, three-way join.
+    QueryTemplate(
+        "tpch_q18", "tpch",
+        (
+            _t("customer"),
+            _t("orders"),
+            _t("lineitem", pred("l_quantity", ">", 0.02, 0.05)),
+        ),
+        (
+            _j("orders.o_custkey", "customer.c_custkey"),
+            _j("lineitem.l_orderkey", "orders.o_orderkey"),
+        ),
+        _agg(("sum",), ("orders.o_orderkey",), (0.3, 0.8)),
+        ("orders.o_totalprice",),
+        100,
+    ),
+    # Q19: discounted revenue — disjunctive part/lineitem predicates.
+    QueryTemplate(
+        "tpch_q19", "tpch",
+        (
+            _t(
+                "lineitem",
+                pred("l_quantity", "between", 0.25, 0.35),
+                pred("l_shipmode", "in", 0.28, 0.30),
+            ),
+            _t(
+                "part",
+                pred("p_brand", "in", 0.10, 0.14),
+                pred("p_container", "in", 0.08, 0.12),
+                pred("p_size", "between", 0.2, 0.4),
+            ),
+        ),
+        ( _j("lineitem.l_partkey", "part.p_partkey"), ),
+        _agg(("sum",)),
+    ),
+    # Q20: potential part promotion — semi-join chain into supplier.
+    QueryTemplate(
+        "tpch_q20", "tpch",
+        (
+            _t("part", pred("p_name", "in", 0.009, 0.012)),
+            _t("partsupp"),
+            _t("supplier"),
+            _t("nation", pred("n_name", "=", 0.035, 0.045)),
+        ),
+        (
+            _j("partsupp.ps_partkey", "part.p_partkey", join_type="semi"),
+            _j("partsupp.ps_suppkey", "supplier.s_suppkey"),
+            _j("supplier.s_nationkey", "nation.n_nationkey"),
+        ),
+        None,
+        ("supplier.s_name",),
+    ),
+    # Q21: suppliers who kept orders waiting — semi join + filters.
+    QueryTemplate(
+        "tpch_q21", "tpch",
+        (
+            _t("supplier"),
+            _t("lineitem", pred("l_receiptdate", ">", 0.45, 0.55)),
+            _t("orders", pred("o_orderstatus", "=", 0.48, 0.52)),
+            _t("nation", pred("n_name", "=", 0.035, 0.045)),
+        ),
+        (
+            _j("lineitem.l_suppkey", "supplier.s_suppkey"),
+            _j("lineitem.l_orderkey", "orders.o_orderkey", join_type="semi", fk="left"),
+            _j("supplier.s_nationkey", "nation.n_nationkey"),
+        ),
+        _agg(("count",), ("supplier.s_name",), (0.005, 0.05)),
+        ("supplier.s_name",),
+        100,
+    ),
+    # Q22: global sales opportunity — customers with no orders.
+    QueryTemplate(
+        "tpch_q22", "tpch",
+        (
+            _t("customer", pred("c_acctbal", ">", 0.45, 0.55)),
+            _t("orders"),
+        ),
+        ( _j("customer.c_custkey", "orders.o_custkey", join_type="anti", fk="right"), ),
+        _agg(("count", "sum"), ("customer.c_nationkey",), (1e-5, 1e-4)),
+        ("customer.c_nationkey",),
+    ),
+)
+
+
+def tpch_template_ids() -> list[str]:
+    return [t.template_id for t in TPCH_TEMPLATES]

@@ -1,0 +1,87 @@
+"""Tests for the TPC-H and TPC-DS catalogs."""
+
+import pytest
+
+from repro.catalog import TPCDS_FK_EDGES, TPCH_FK_EDGES, tpcds_schema, tpch_schema
+
+
+class TestTPCH:
+    def test_eight_tables(self):
+        assert len(tpch_schema()) == 8
+
+    def test_spec_row_counts_at_sf1(self):
+        s = tpch_schema(1.0)
+        assert s.table("lineitem").row_count == 6_000_000
+        assert s.table("orders").row_count == 1_500_000
+        assert s.table("region").row_count == 5
+        assert s.table("nation").row_count == 25
+
+    def test_scale_factor_scales_facts(self):
+        s10 = tpch_schema(10.0)
+        assert s10.table("lineitem").row_count == 60_000_000
+        # Fixed-size tables do not scale.
+        assert s10.table("region").row_count == 5
+
+    def test_fk_edges_reference_real_columns(self):
+        s = tpch_schema()
+        for child, ccol, parent, pcol in TPCH_FK_EDGES:
+            assert s.table(child).has_column(ccol), (child, ccol)
+            assert s.table(parent).has_column(pcol), (parent, pcol)
+
+    def test_fk_parent_is_key(self):
+        s = tpch_schema()
+        for _, _, parent, pcol in TPCH_FK_EDGES:
+            col = s.table(parent).column(pcol)
+            # Parent key columns are dense: ndv == row count.
+            assert col.ndv == s.table(parent).row_count
+
+    def test_deterministic_under_seed(self):
+        a = tpch_schema(1.0, seed=5)
+        b = tpch_schema(1.0, seed=5)
+        assert a.table("orders").column("o_totalprice").median_value == (
+            b.table("orders").column("o_totalprice").median_value
+        )
+
+    def test_primary_keys_indexed(self):
+        s = tpch_schema()
+        for name in ("lineitem", "orders", "customer", "part", "supplier"):
+            assert s.table(name).indexes, name
+
+
+class TestTPCDS:
+    def test_twenty_four_tables(self):
+        assert len(tpcds_schema()) == 24
+
+    def test_spec_row_counts_at_sf1(self):
+        s = tpcds_schema(1.0)
+        assert s.table("store_sales").row_count == 2_880_404
+        assert s.table("date_dim").row_count == 73_049
+        assert s.table("inventory").row_count == 11_745_000
+
+    def test_facts_scale_linearly_dims_sublinearly(self):
+        s1, s100 = tpcds_schema(1.0), tpcds_schema(100.0)
+        assert s100.table("store_sales").row_count == 100 * s1.table("store_sales").row_count
+        item_growth = s100.table("item").row_count / s1.table("item").row_count
+        assert 1 < item_growth < 100
+
+    def test_fixed_dims_do_not_scale(self):
+        s1, s100 = tpcds_schema(1.0), tpcds_schema(100.0)
+        for fixed in ("date_dim", "time_dim", "customer_demographics", "income_band"):
+            assert s1.table(fixed).row_count == s100.table(fixed).row_count
+
+    def test_fk_edges_reference_real_columns(self):
+        s = tpcds_schema()
+        for child, ccol, parent, pcol in TPCDS_FK_EDGES:
+            assert s.table(child).has_column(ccol), (child, ccol)
+            assert s.table(parent).has_column(pcol), (parent, pcol)
+
+    @pytest.mark.parametrize("fact", ["store_sales", "catalog_sales", "web_sales", "inventory"])
+    def test_every_fact_reaches_date_dim(self, fact):
+        assert any(c == fact and p == "date_dim" for c, _, p, _ in TPCDS_FK_EDGES)
+
+    def test_snowflake_edges_exist(self):
+        # customer -> demographics/address and hd -> income_band chains.
+        pairs = {(c, p) for c, _, p, _ in TPCDS_FK_EDGES}
+        assert ("customer", "customer_address") in pairs
+        assert ("customer", "customer_demographics") in pairs
+        assert ("household_demographics", "income_band") in pairs

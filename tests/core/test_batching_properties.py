@@ -1,0 +1,77 @@
+"""Property tests for the §5.1.1 batching layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import group_by_structure, plan_graph, sample_batches, vectorize_corpus
+from repro.featurize import Featurizer
+from repro.workload import Workbench
+
+
+@pytest.fixture(scope="module")
+def vectorized():
+    wb = Workbench("tpch", seed=0)
+    samples = wb.generate(44, rng=np.random.default_rng(2))
+    featurizer = Featurizer().fit([s.plan for s in samples])
+    return vectorize_corpus(samples, featurizer)
+
+
+class TestGrouping:
+    def test_partition_exact(self, vectorized):
+        groups = group_by_structure(vectorized)
+        assert sum(g.n_plans for g in groups) == len(vectorized)
+
+    def test_signatures_unique_across_groups(self, vectorized):
+        groups = group_by_structure(vectorized)
+        signatures = [g.graph.signature for g in groups]
+        assert len(signatures) == len(set(signatures))
+
+    def test_group_operator_totals(self, vectorized):
+        groups = group_by_structure(vectorized)
+        total_ops = sum(g.n_operators for g in groups)
+        assert total_ops == sum(len(p.features) for p in vectorized)
+
+    def test_feature_stacking_preserves_rows(self, vectorized):
+        groups = group_by_structure(vectorized)
+        for g in groups:
+            for pos in range(g.graph.n_nodes):
+                assert g.features[pos].shape[0] == g.n_plans
+
+    def test_grouping_deterministic(self, vectorized):
+        a = [g.graph.signature for g in group_by_structure(vectorized)]
+        b = [g.graph.signature for g in group_by_structure(vectorized)]
+        assert a == b
+
+
+class TestSampleBatches:
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_batches_cover_corpus_exactly_once(self, batch_size, seed):
+        items = list(range(50))
+        batches = sample_batches(items, batch_size, np.random.default_rng(seed))
+        flat = [x for b in batches for x in b]
+        assert sorted(flat) == items
+        assert all(len(b) <= batch_size for b in batches)
+
+    def test_batches_shuffled(self):
+        items = list(range(100))
+        batches = sample_batches(items, 100, np.random.default_rng(0))
+        assert batches[0] != items  # astronomically unlikely to be sorted
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            sample_batches([1], 0, np.random.default_rng(0))
+
+
+class TestPlanGraphDepth:
+    def test_depth_of_matches_tree(self, vectorized):
+        for plan in vectorized[:5]:
+            graph = plan.graph
+            root_depth = graph.depth_of(0)
+            leaf_positions = [
+                p for p in range(graph.n_nodes) if not graph.children[p]
+            ]
+            assert all(graph.depth_of(p) == 1 for p in leaf_positions)
+            assert root_depth >= 1

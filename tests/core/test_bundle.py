@@ -1,0 +1,70 @@
+"""Tests for model bundles and featurizer serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core import QPPNet, QPPNetConfig, Trainer
+from repro.core.bundle import load_bundle, save_bundle
+from repro.featurize import Featurizer
+from repro.featurize.serialize import featurizer_from_dict, featurizer_to_dict
+from repro.workload import Workbench
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return Workbench("tpch", seed=0).generate(20, rng=np.random.default_rng(3))
+
+
+@pytest.fixture(scope="module")
+def trained(corpus):
+    featurizer = Featurizer().fit([s.plan for s in corpus])
+    config = QPPNetConfig(hidden_layers=1, neurons=8, data_size=2, epochs=2, batch_size=8)
+    model = QPPNet(featurizer, config)
+    Trainer(model, config).fit(corpus)
+    return model
+
+
+class TestFeaturizerSerialization:
+    def test_roundtrip_identical_vectors(self, corpus, trained):
+        featurizer = trained.featurizer
+        restored = featurizer_from_dict(featurizer_to_dict(featurizer))
+        for sample in corpus[:5]:
+            for node in sample.plan.preorder():
+                a = featurizer.transform_node(node)
+                b = restored.transform_node(node)
+                assert np.allclose(a, b)
+
+    def test_latency_scale_preserved(self, trained):
+        restored = featurizer_from_dict(featurizer_to_dict(trained.featurizer))
+        assert restored.latency_scale_ms == trained.featurizer.latency_scale_ms
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError):
+            featurizer_to_dict(Featurizer())
+
+    def test_bad_version_rejected(self, trained):
+        state = featurizer_to_dict(trained.featurizer)
+        state["format_version"] = 99
+        with pytest.raises(ValueError):
+            featurizer_from_dict(state)
+
+
+class TestBundle:
+    def test_roundtrip_predictions(self, corpus, trained, tmp_path):
+        directory = save_bundle(trained, tmp_path / "bundle")
+        restored = load_bundle(directory)
+        for sample in corpus[:5]:
+            assert restored.predict(sample.plan) == pytest.approx(
+                trained.predict(sample.plan)
+            )
+
+    def test_config_preserved(self, trained, tmp_path):
+        directory = save_bundle(trained, tmp_path / "bundle")
+        restored = load_bundle(directory)
+        assert restored.config == trained.config
+
+    def test_missing_file_detected(self, trained, tmp_path):
+        directory = save_bundle(trained, tmp_path / "bundle")
+        (tmp_path / "bundle" / "config.json").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_bundle(directory)

@@ -1,0 +1,82 @@
+"""Failure-injection tests: extreme hardware profiles must degrade
+gracefully (no NaNs, no negative latencies, monotone responses)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import HardwareProfile, Simulator
+from repro.workload import Workbench
+
+
+def profile_workbench(**profile_kwargs):
+    profile = HardwareProfile(seed=0, **profile_kwargs)
+    return Workbench("tpch", seed=0, profile=profile)
+
+
+class TestExtremeProfiles:
+    def test_tiny_work_mem_everything_spills(self):
+        wb = profile_workbench(work_mem_bytes=64 * 1024)  # 64 KB
+        samples = wb.generate(22, rng=np.random.default_rng(0))
+        for s in samples:
+            assert np.isfinite(s.latency_ms)
+            assert s.latency_ms > 0
+
+    def test_huge_work_mem_nothing_spills(self):
+        small = profile_workbench(work_mem_bytes=64 * 1024)
+        large = profile_workbench(work_mem_bytes=16 * 1024 * 1024 * 1024)
+        lat_small = sum(s.latency_ms for s in small.generate(22, rng=np.random.default_rng(1)))
+        lat_large = sum(s.latency_ms for s in large.generate(22, rng=np.random.default_rng(1)))
+        assert lat_small > lat_large
+
+    def test_zero_noise(self):
+        wb = profile_workbench(node_noise_sigma=0.0, query_noise_sigma=0.0)
+        a = wb.generate(5, rng=np.random.default_rng(2))
+        b = profile_workbench(node_noise_sigma=0.0, query_noise_sigma=0.0).generate(
+            5, rng=np.random.default_rng(2)
+        )
+        assert [s.latency_ms for s in a] == [s.latency_ms for s in b]
+
+    def test_high_noise_still_positive(self):
+        wb = profile_workbench(node_noise_sigma=1.0, query_noise_sigma=0.5)
+        for s in wb.generate(22, rng=np.random.default_rng(3)):
+            assert s.latency_ms > 0
+            for node in s.plan.preorder():
+                assert node.actual_total_ms >= 0
+
+    def test_slow_disk_dominates(self):
+        fast = profile_workbench(seq_page_ms=0.001)
+        slow = profile_workbench(seq_page_ms=1.0)
+        lat_fast = sum(s.latency_ms for s in fast.generate(10, rng=np.random.default_rng(4)))
+        lat_slow = sum(s.latency_ms for s in slow.generate(10, rng=np.random.default_rng(4)))
+        assert lat_slow > 5 * lat_fast
+
+    def test_free_cpu_changes_little_for_io_bound(self):
+        normal = profile_workbench()
+        free_cpu = profile_workbench(cpu_tuple_ms=0.0, cpu_pred_ms=0.0)
+        lat_normal = sum(s.latency_ms for s in normal.generate(5, rng=np.random.default_rng(5)))
+        lat_free = sum(s.latency_ms for s in free_cpu.generate(5, rng=np.random.default_rng(5)))
+        assert lat_free < lat_normal  # strictly cheaper but same order
+        assert lat_free > 0.05 * lat_normal
+
+
+class TestModelsUnderExtremes:
+    def test_pipeline_trains_under_spill_heavy_profile(self):
+        from repro.core import QPPNetConfig, train_qppnet
+
+        wb = profile_workbench(work_mem_bytes=256 * 1024)
+        samples = wb.generate(30, rng=np.random.default_rng(6))
+        model, history = train_qppnet(
+            samples,
+            config=QPPNetConfig(hidden_layers=1, neurons=8, data_size=2, epochs=2, batch_size=8),
+        )
+        assert np.isfinite(history.final_loss)
+
+    def test_baselines_survive_extremes(self):
+        from repro.baselines import RBFPredictor, SVMPredictor, TAMPredictor
+
+        wb = profile_workbench(work_mem_bytes=256 * 1024, node_noise_sigma=0.5)
+        samples = wb.generate(40, rng=np.random.default_rng(7))
+        for cls in (TAMPredictor, SVMPredictor, RBFPredictor):
+            model = cls(seed=0).fit(samples)
+            pred = model.predict(samples[0].plan)
+            assert np.isfinite(pred) and pred > 0

@@ -1,0 +1,145 @@
+"""Tests for the execution simulator (the ground-truth substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import tpch_schema
+from repro.engine import HardwareProfile, Simulator
+from repro.optimizer import Planner, SelectivityModel
+from repro.queryspec import JoinEdge, Predicate, QuerySpec, TableRef
+from repro.workload import Workbench
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return Planner(tpch_schema(1.0, seed=1), selectivity=SelectivityModel(seed=0))
+
+
+def lineitem_scan(sel=0.5):
+    return QuerySpec(
+        "t", "tpch",
+        (TableRef("lineitem", "l", (Predicate("l_shipdate", "<", sel),)),),
+    )
+
+
+class TestHardwareProfile:
+    def test_device_factor_deterministic(self):
+        p = HardwareProfile(seed=4)
+        assert p.device_factor("lineitem") == p.device_factor("lineitem")
+
+    def test_device_factor_per_relation(self):
+        p = HardwareProfile(seed=4)
+        factors = {p.device_factor(f"rel{i}") for i in range(10)}
+        assert len(factors) == 10
+
+    def test_device_factor_seed_dependent(self):
+        assert HardwareProfile(seed=1).device_factor("t") != HardwareProfile(seed=2).device_factor("t")
+
+    def test_factors_reasonable(self):
+        p = HardwareProfile(seed=0)
+        for i in range(50):
+            assert 0.1 < p.device_factor(f"r{i}") < 10.0
+
+
+class TestSimulatorBasics:
+    def test_actuals_annotated_everywhere(self, planner):
+        plan = planner.plan(lineitem_scan())
+        Simulator().execute(plan, np.random.default_rng(0))
+        for node in plan.preorder():
+            assert node.actual_total_ms is not None
+            assert node.actual_rows is not None
+
+    def test_root_time_is_query_latency(self, planner):
+        plan = planner.plan(lineitem_scan())
+        latency = Simulator().execute(plan, np.random.default_rng(0))
+        assert latency == plan.actual_total_ms
+
+    def test_cumulative_times(self, planner):
+        wb = Workbench("tpch", seed=0)
+        sample = wb.generate(5, rng=np.random.default_rng(3))[3]
+        for node in sample.plan.preorder():
+            child_total = sum(c.actual_total_ms for c in node.children)
+            assert node.actual_total_ms >= child_total
+
+    def test_noise_free_is_deterministic(self, planner):
+        p1 = planner.plan(lineitem_scan())
+        p2 = planner.plan(lineitem_scan())
+        l1 = Simulator().execute(p1, rng=None)
+        l2 = Simulator().execute(p2, rng=None)
+        assert l1 == l2
+
+    def test_noise_perturbs(self, planner):
+        p1 = planner.plan(lineitem_scan())
+        p2 = planner.plan(lineitem_scan())
+        sim = Simulator()
+        l1 = sim.execute(p1, np.random.default_rng(1))
+        l2 = sim.execute(p2, np.random.default_rng(2))
+        assert l1 != l2
+
+    def test_noise_is_bounded(self, planner):
+        sim = Simulator()
+        base = Simulator().execute(planner.plan(lineitem_scan()), rng=None)
+        for seed in range(5):
+            noisy = sim.execute(planner.plan(lineitem_scan()), np.random.default_rng(seed))
+            assert 0.5 * base < noisy < 2.0 * base
+
+
+class TestOperatorBehaviours:
+    def test_scan_time_scales_with_table(self, planner):
+        small = planner.plan(
+            QuerySpec("t", "tpch", (TableRef("nation", "n"),))
+        )
+        large = planner.plan(lineitem_scan())
+        sim = Simulator()
+        assert sim.execute(large, None) > 50 * sim.execute(small, None)
+
+    def test_selective_query_faster(self, planner):
+        # More selective predicate -> fewer matched rows; with an index
+        # chosen the latency drops dramatically.
+        wide = planner.plan(lineitem_scan(0.9))
+        narrow = planner.plan(lineitem_scan(0.00005))
+        sim = Simulator()
+        assert sim.execute(narrow, None) < sim.execute(wide, None)
+
+    def test_device_factor_visible_in_latency(self, planner):
+        plan = planner.plan(lineitem_scan())
+        fast = HardwareProfile(seed=0)
+        fast._device_factors["lineitem"] = 0.5
+        slow = HardwareProfile(seed=0)
+        slow._device_factors["lineitem"] = 2.0
+        assert Simulator(slow).execute(planner.plan(lineitem_scan()), None) > Simulator(
+            fast
+        ).execute(plan, None)
+
+    def test_spill_penalty(self, planner):
+        profile_small_mem = HardwareProfile(work_mem_bytes=1024 * 1024)
+        profile_big_mem = HardwareProfile(work_mem_bytes=4 * 1024 * 1024 * 1024)
+        query = lineitem_scan(0.9)
+        spec = QuerySpec(
+            "t", "tpch", query.tables, order_by=("l.l_extendedprice",)
+        )
+        lat_small = Simulator(profile_small_mem).execute(planner.plan(spec), None)
+        lat_big = Simulator(profile_big_mem).execute(planner.plan(spec), None)
+        assert lat_small > lat_big
+
+    def test_join_query_slower_than_parts(self, planner):
+        join = QuerySpec(
+            "t", "tpch",
+            (
+                TableRef("orders", "o", (Predicate("o_orderdate", "<", 0.3),)),
+                TableRef("lineitem", "l"),
+            ),
+            joins=(JoinEdge("l", "l_orderkey", "o", "o_orderkey", fk_side="l"),),
+        )
+        plan = planner.plan(join)
+        sim = Simulator()
+        total = sim.execute(plan, None)
+        children_sum = sum(
+            n.actual_total_ms for n in plan.children
+        )
+        assert total > children_sum * 0.99
+
+    def test_truth_self_ms_recorded(self, planner):
+        plan = planner.plan(lineitem_scan())
+        Simulator().execute(plan, None)
+        assert all("self_ms" in n.truth for n in plan.preorder())

@@ -1,0 +1,62 @@
+"""Integration tests: full train/score pipeline over all four models."""
+
+import numpy as np
+import pytest
+
+from repro.core import QPPNetConfig
+from repro.evaluation import MODEL_ORDER, evaluate_models, mae_eval_fn
+from repro.workload import Workbench, random_split
+
+
+@pytest.fixture(scope="module")
+def result():
+    wb = Workbench("tpch", seed=0)
+    samples = wb.generate(66, rng=np.random.default_rng(4))
+    ds = random_split(samples, 0.15, np.random.default_rng(5))
+    config = QPPNetConfig(
+        hidden_layers=1, neurons=16, data_size=4, epochs=8, batch_size=32, seed=0
+    )
+    return evaluate_models(ds, "TPC-H", config)
+
+
+class TestEvaluateModels:
+    def test_all_models_present(self, result):
+        assert set(result.summaries) == set(MODEL_ORDER)
+        assert set(result.predictions) == set(MODEL_ORDER)
+
+    def test_prediction_shapes(self, result):
+        n = len(result.actuals)
+        for preds in result.predictions.values():
+            assert preds.shape == (n,)
+            assert (preds > 0).all()
+
+    def test_table_rows_ordered(self, result):
+        rows = result.table_rows()
+        assert [r["model"] for r in rows] == list(MODEL_ORDER)
+
+    def test_history_captured(self, result):
+        assert result.qppnet_history is not None
+        assert len(result.qppnet_history.train_loss) == 8
+
+    def test_summaries_match_predictions(self, result):
+        for model in MODEL_ORDER:
+            s = result.summaries[model]
+            mae = float(np.mean(np.abs(result.actuals - result.predictions[model])))
+            assert s.mae_ms == pytest.approx(mae)
+
+    def test_subset_include(self):
+        wb = Workbench("tpch", seed=0)
+        samples = wb.generate(44, rng=np.random.default_rng(6))
+        ds = random_split(samples, 0.2, np.random.default_rng(7))
+        res = evaluate_models(ds, "TPC-H", include=("TAM",))
+        assert set(res.summaries) == {"TAM"}
+        assert res.qppnet_history is None
+
+
+class TestMaeEvalFn:
+    def test_probe_returns_mae(self, result):
+        wb = Workbench("tpch", seed=0)
+        samples = wb.generate(10, rng=np.random.default_rng(8))
+        probe = mae_eval_fn(samples)
+        value = probe(result.models["QPP Net"])
+        assert value > 0

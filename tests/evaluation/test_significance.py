@@ -1,0 +1,62 @@
+"""Tests for paired bootstrap significance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.significance import BootstrapResult, paired_bootstrap
+
+
+def synthetic(n=120, err_a=0.1, err_b=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    actual = rng.uniform(10.0, 1000.0, n)
+    pred_a = actual * np.exp(rng.normal(0.0, err_a, n))
+    pred_b = actual * np.exp(rng.normal(0.0, err_b, n))
+    return actual, pred_a, pred_b
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_is_significant(self):
+        actual, a, b = synthetic()
+        result = paired_bootstrap(actual, a, b, model_a="good", model_b="bad", seed=1)
+        assert result.observed_diff < 0  # a better (lower error)
+        assert result.significant
+        assert result.p_better > 0.99
+
+    def test_identical_models_not_significant(self):
+        actual, a, _ = synthetic()
+        result = paired_bootstrap(actual, a, a.copy(), seed=1)
+        assert result.observed_diff == pytest.approx(0.0)
+        assert not result.significant
+
+    def test_ci_contains_observed(self):
+        actual, a, b = synthetic(err_a=0.2, err_b=0.25)
+        result = paired_bootstrap(actual, a, b, seed=2)
+        assert result.ci_low <= result.observed_diff <= result.ci_high
+
+    def test_row_rendering(self):
+        actual, a, b = synthetic()
+        row = paired_bootstrap(actual, a, b, model_a="X", model_b="Y", seed=0).row()
+        assert row["comparison"] == "X vs Y"
+        assert "ci95" in row
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0], [1.0], [1.0])
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0, 2.0], [1.0], [1.0, 2.0])
+
+    def test_deterministic_under_seed(self):
+        actual, a, b = synthetic()
+        r1 = paired_bootstrap(actual, a, b, seed=3)
+        r2 = paired_bootstrap(actual, a, b, seed=3)
+        assert r1 == r2
+
+    def test_custom_metric(self):
+        actual, a, b = synthetic()
+
+        def mae(actual, predicted):
+            return float(np.mean(np.abs(actual - predicted)))
+
+        result = paired_bootstrap(actual, a, b, metric=mae, metric_name="mae", seed=0)
+        assert result.metric == "mae"
+        assert result.observed_diff < 0

@@ -1,0 +1,67 @@
+"""Tests for experiment scale presets and the shared context cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import QPPNetConfig
+from repro.experiments import SCALES, ExperimentContext, current_scale, qpp_config
+from repro.experiments.context import global_context
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"smoke", "default", "full"}
+
+    def test_presets_ordered_by_cost(self):
+        assert (
+            SCALES["smoke"].n_queries_tpch
+            < SCALES["default"].n_queries_tpch
+            < SCALES["full"].n_queries_tpch
+        )
+        assert SCALES["smoke"].epochs < SCALES["default"].epochs
+
+    def test_env_var_selects_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert current_scale().name == "smoke"
+
+    def test_bad_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_default_is_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "default"
+
+    def test_qpp_config_override(self):
+        cfg = qpp_config(SCALES["smoke"], neurons=5)
+        assert isinstance(cfg, QPPNetConfig)
+        assert cfg.neurons == 5
+        assert cfg.epochs == SCALES["smoke"].epochs
+
+
+class TestContextCaching:
+    def test_corpus_cached(self):
+        ctx = ExperimentContext(SCALES["smoke"], seed=0)
+        a = ctx.corpus("tpch")
+        b = ctx.corpus("tpch")
+        assert a is b
+        assert len(a) == SCALES["smoke"].n_queries_tpch
+
+    def test_dataset_protocols(self):
+        ctx = ExperimentContext(SCALES["smoke"], seed=0)
+        tpch = ctx.dataset("tpch")
+        tpcds = ctx.dataset("tpcds")
+        # TPC-H: random split (no held-out templates recorded).
+        assert tpch.held_out_templates == ()
+        # TPC-DS: 10-template holdout.
+        assert len(tpcds.held_out_templates) == 10
+
+    def test_workbench_cached(self):
+        ctx = ExperimentContext(SCALES["smoke"], seed=0)
+        assert ctx.workbench("tpch") is ctx.workbench("tpch")
+
+    def test_global_context_tracks_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        ctx = global_context()
+        assert ctx.scale.name == "smoke"

@@ -1,0 +1,107 @@
+"""Smoke-scale runs of every experiment (each paper table/figure)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, SCALES, ExperimentContext, run
+from repro.experiments.reporting import ExperimentReport, render_table
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(SCALES["smoke"], seed=0)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig7a", "fig7b", "table1", "fig8", "fig9a", "fig9bc",
+            "fig10", "fig11", "fig12", "ablations",
+        }
+
+    def test_unknown_experiment_rejected(self, context):
+        with pytest.raises(KeyError):
+            run("fig99", context)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = render_table(rows)
+        assert "a" in text and "b" in text
+        assert len(text.splitlines()) == 4
+
+    def test_render_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_report_save(self, tmp_path):
+        report = ExperimentReport("x", "t", [{"v": 1}])
+        path = report.save(str(tmp_path))
+        assert path.endswith("x.json")
+
+    def test_report_render_contains_notes(self):
+        report = ExperimentReport("x", "t", [{"v": 1}], notes=["hello"])
+        assert "hello" in report.render()
+
+
+@pytest.mark.slow
+class TestSmokeRuns:
+    """Run each experiment end-to-end at smoke scale."""
+
+    def test_fig12_latency_distribution(self, context):
+        report = run("fig12", context)
+        assert len(report.rows) == 70  # one row per TPC-DS template
+        assert all(r["mean_latency_s"] > 0 for r in report.rows)
+
+    def test_fig7a_accuracy(self, context):
+        report = run("fig7a", context)
+        assert len(report.rows) == 8  # 4 models x 2 workloads
+        assert {r["workload"] for r in report.rows} == {"TPC-H", "TPC-DS"}
+
+    def test_fig7b_cdf(self, context):
+        report = run("fig7b", context)
+        assert len(report.rows) == 8
+        for row in report.rows:
+            assert row["R@50%"] <= row["R@100%"]
+
+    def test_table1_buckets(self, context):
+        report = run("table1", context)
+        assert len(report.rows) == 8
+        for row in report.rows:
+            total = row["R<=1.5_pct"] + row["1.5<R<2_pct"] + row["R>=2_pct"]
+            assert 98 <= total <= 102  # rounding
+
+    def test_fig9a_ablation(self, context):
+        report = run("fig9a", context)
+        assert len(report.rows) == 8  # 4 modes x 2 workloads
+        by_mode = {(r["workload"], r["optimizations"]): r for r in report.rows}
+        for workload in ("TPC-H", "TPC-DS"):
+            none = by_mode[(workload, "None")]["train_time_s"]
+            both = by_mode[(workload, "Both")]["train_time_s"]
+            assert both < none
+
+    def test_fig9bc_convergence(self, context):
+        report = run("fig9bc", context)
+        figures = {r["figure"] for r in report.rows}
+        assert figures == {"9b", "9c"}
+
+    def test_fig10_neuron_sweep(self, context):
+        report = run("fig10", context)
+        assert [r["setting"] for r in report.rows] == ["8", "16", "32", "64", "128", "256"]
+
+    def test_fig11_layer_sweep(self, context):
+        report = run("fig11", context)
+        assert [r["setting"] for r in report.rows] == ["1", "2", "3", "4", "5", "6"]
+
+    def test_fig8_per_template(self, context):
+        report = run("fig8", context)
+        assert len(report.rows) == 70
+        for row in report.rows[:5]:
+            assert "QPP Net_mae_s" in row
+            assert "TAM_mae_s" in row
+
+    def test_ablations(self, context):
+        report = run("ablations", context)
+        studies = {r["study"] for r in report.rows}
+        assert studies == {"optimizer", "data_vector", "cardinality_injection"}
+        settings = [r["setting"] for r in report.rows if r["study"] == "data_vector"]
+        assert "d=0" in settings

@@ -1,0 +1,88 @@
+"""Tests for the Appendix-B feature encoders."""
+
+import numpy as np
+import pytest
+
+from repro.featurize import NumericWhitener, OneHotEncoder, encode_boolean
+
+
+class TestNumericWhitener:
+    def test_whitening_normalizes(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, size=(500, 2))
+        w = NumericWhitener().fit(data)
+        out = w.transform(data)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+    def test_same_scaling_at_inference(self):
+        # Paper: "At inference time, the same scaling values are used."
+        train = np.array([[0.0], [10.0]])
+        w = NumericWhitener().fit(train)
+        test = np.array([[5.0]])
+        assert w.transform(test)[0, 0] == pytest.approx(0.0)
+
+    def test_constant_feature_maps_to_zero(self):
+        w = NumericWhitener().fit(np.full((10, 1), 7.0))
+        assert np.allclose(w.transform(np.full((3, 1), 7.0)), 0.0)
+
+    def test_log_transform(self):
+        w = NumericWhitener(log_transform=True).fit(np.array([[0.0], [1e6]]))
+        mid = w.transform(np.array([[1e3]]))[0, 0]
+        assert -1.0 < mid < 1.0  # log compresses the huge range
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            NumericWhitener().transform(np.zeros((1, 1)))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            NumericWhitener().fit(np.zeros((0, 3)))
+
+    def test_1d_fit_raises(self):
+        with pytest.raises(ValueError):
+            NumericWhitener().fit(np.zeros(5))
+
+
+class TestOneHotEncoder:
+    def test_fixed_vocabulary(self):
+        enc = OneHotEncoder(["a", "b", "c"])
+        assert enc.size == 3
+        assert np.allclose(enc.transform("b"), [0, 1, 0])
+
+    def test_fixed_vocab_does_not_grow(self):
+        enc = OneHotEncoder(["a"])
+        enc.fit(["b", "c"])
+        assert enc.size == 1
+
+    def test_learned_vocabulary(self):
+        enc = OneHotEncoder()
+        enc.fit(["x", "y", "x"])
+        assert enc.size == 2
+        assert enc.transform("y").sum() == 1.0
+
+    def test_unseen_is_all_zeros(self):
+        enc = OneHotEncoder(["a"])
+        assert enc.transform("zzz").sum() == 0.0
+
+    def test_none_unseen(self):
+        enc = OneHotEncoder(["a"])
+        assert enc.transform(None).sum() == 0.0
+
+    def test_categories_ordered(self):
+        enc = OneHotEncoder()
+        enc.fit(["b", "a"])
+        assert enc.categories == ["b", "a"]  # insertion order
+
+
+class TestBooleanEncoder:
+    @pytest.mark.parametrize("value,expected", [
+        (True, 1.0), (False, 0.0),
+        ("Forward", 1.0), ("Backward", 0.0),
+        ("true", 1.0), ("f", 0.0), (1, 1.0), (0, 0.0),
+    ])
+    def test_values(self, value, expected):
+        assert encode_boolean(value)[0] == expected
+
+    def test_shape(self):
+        assert encode_boolean(True).shape == (1,)

@@ -1,0 +1,127 @@
+"""Tests for the plan featurizer and the Table-2 schema transcription."""
+
+import numpy as np
+import pytest
+
+from repro.featurize import FEATURE_SCHEMAS, Featurizer, UNIVERSAL_NUMERIC
+from repro.plans import LogicalType
+from repro.workload import Workbench
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    wb = Workbench("tpch", seed=0)
+    return wb.generate(44, rng=np.random.default_rng(7))
+
+
+@pytest.fixture(scope="module")
+def featurizer(corpus):
+    return Featurizer().fit([s.plan for s in corpus])
+
+
+class TestTable2Schema:
+    def test_every_logical_type_has_schema(self):
+        assert set(FEATURE_SCHEMAS) == set(LogicalType)
+
+    def test_universal_numeric_features(self):
+        # Table 2 "All" rows: width, rows, buffers, I/Os, total cost.
+        assert UNIVERSAL_NUMERIC == (
+            "Plan Width",
+            "Plan Rows",
+            "Plan Buffers",
+            "Estimated I/Os",
+            "Total Cost",
+        )
+        for schema in FEATURE_SCHEMAS.values():
+            for prop in UNIVERSAL_NUMERIC:
+                assert prop in schema.numeric_log
+
+    def test_scan_schema_matches_table2(self):
+        scan = FEATURE_SCHEMAS[LogicalType.SCAN]
+        assert ("Attribute Mins", 3) in scan.vectors
+        assert ("Attribute Medians", 3) in scan.vectors
+        assert ("Attribute Maxs", 3) in scan.vectors
+        assert "Relation Name" in scan.learned_onehots
+        assert "Index Name" in scan.learned_onehots
+        assert "Scan Direction" in scan.booleans
+
+    def test_join_schema_matches_table2(self):
+        join = FEATURE_SCHEMAS[LogicalType.JOIN]
+        names = dict(join.fixed_onehots)
+        assert names["Join Type"] == ("inner", "semi", "anti", "full")
+        assert names["Parent Relationship"] == ("inner", "outer", "subquery")
+
+    def test_sort_hash_agg_schemas(self):
+        sort = FEATURE_SCHEMAS[LogicalType.SORT]
+        assert "Sort Key" in sort.learned_onehots
+        assert dict(sort.fixed_onehots)["Sort Method"] == (
+            "quicksort", "top-N heapsort", "external merge",
+        )
+        hash_schema = FEATURE_SCHEMAS[LogicalType.HASH]
+        assert "Hash Buckets" in hash_schema.numeric_log
+        agg = FEATURE_SCHEMAS[LogicalType.AGGREGATE]
+        assert dict(agg.fixed_onehots)["Strategy"] == ("plain", "sorted", "hashed")
+        assert "Partial Mode" in agg.booleans
+
+
+class TestFeaturizer:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Featurizer().transform_node(None)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            Featurizer().fit([])
+
+    def test_fixed_size_per_type(self, featurizer, corpus):
+        sizes = featurizer.feature_sizes()
+        for sample in corpus[:10]:
+            for node in sample.plan.preorder():
+                vec = featurizer.transform_node(node)
+                assert vec.shape == (sizes[node.logical_type],)
+
+    def test_all_finite(self, featurizer, corpus):
+        for sample in corpus[:10]:
+            for vec in featurizer.transform_plan(sample.plan):
+                assert np.isfinite(vec).all()
+
+    def test_different_types_different_sizes(self, featurizer):
+        sizes = featurizer.feature_sizes()
+        # Heterogeneous tree nodes (§3): scans carry far more features
+        # than pass-through operators.
+        assert sizes[LogicalType.SCAN] > sizes[LogicalType.LIMIT]
+
+    def test_relation_vocab_learned(self, featurizer):
+        vocab = featurizer.vocabulary(LogicalType.SCAN, "Relation Name")
+        assert "lineitem" in vocab
+
+    def test_transform_plan_preorder_aligned(self, featurizer, corpus):
+        plan = corpus[0].plan
+        vecs = featurizer.transform_plan(plan)
+        assert len(vecs) == plan.node_count()
+
+    def test_latency_scale_positive(self, featurizer):
+        assert featurizer.latency_scale_ms > 0
+
+    def test_distinguishes_relations(self, featurizer, corpus):
+        # Two scans of different relations must produce different vectors.
+        scans = {}
+        for sample in corpus:
+            for node in sample.plan.preorder():
+                if node.logical_type == LogicalType.SCAN:
+                    scans.setdefault(node.props["Relation Name"], node)
+        names = list(scans)
+        if len(names) >= 2:
+            a = featurizer.transform_node(scans[names[0]])
+            b = featurizer.transform_node(scans[names[1]])
+            assert not np.allclose(a, b)
+
+    def test_whitening_roughly_centred(self, featurizer, corpus):
+        rows = []
+        for sample in corpus:
+            for node in sample.plan.preorder():
+                if node.logical_type == LogicalType.SCAN:
+                    rows.append(featurizer.transform_node(node))
+        stacked = np.vstack(rows)
+        # First five slots are the whitened universal numerics.
+        assert np.abs(stacked[:, :5].mean(axis=0)).max() < 0.75

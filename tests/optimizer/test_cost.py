@@ -1,0 +1,98 @@
+"""Tests for the PostgreSQL-style cost model."""
+
+import pytest
+
+from repro.optimizer import CostParams
+from repro.optimizer import cost as C
+
+
+@pytest.fixture
+def params():
+    return CostParams()
+
+
+class TestScanCosts:
+    def test_seq_scan_scales_with_pages(self, params):
+        small = C.seq_scan_cost(params, 100, 1000, 1)
+        large = C.seq_scan_cost(params, 10_000, 100_000, 1)
+        assert large.total > small.total
+        assert large.io_pages == 10_000
+
+    def test_predicates_add_cpu(self, params):
+        none = C.seq_scan_cost(params, 100, 1000, 0)
+        three = C.seq_scan_cost(params, 100, 1000, 3)
+        assert three.total > none.total
+
+    def test_index_scan_selective_beats_seq(self, params):
+        # 0.1% selectivity on a clustered index should beat a full scan.
+        seq = C.seq_scan_cost(params, 100_000, 1_000_000, 1)
+        idx = C.index_scan_cost(params, 100_000, 1_000_000, 1000, clustered=True, n_preds=1)
+        assert idx.total < seq.total
+
+    def test_index_scan_unselective_loses(self, params):
+        seq = C.seq_scan_cost(params, 100_000, 1_000_000, 1)
+        idx = C.index_scan_cost(params, 100_000, 1_000_000, 900_000, clustered=False, n_preds=1)
+        assert idx.total > seq.total
+
+    def test_unclustered_random_io_pricier(self, params):
+        clustered = C.index_scan_cost(params, 10_000, 100_000, 5_000, True, 1)
+        unclustered = C.index_scan_cost(params, 10_000, 100_000, 5_000, False, 1)
+        assert unclustered.total > clustered.total
+
+
+class TestSortAndHashCosts:
+    def test_in_memory_sort_no_io(self, params):
+        cost = C.sort_cost(params, 1000, 64)
+        assert cost.io_pages == 0.0
+
+    def test_external_sort_pays_io(self, params):
+        rows = params.work_mem_bytes // 64 * 4  # 4x work_mem
+        cost = C.sort_cost(params, rows, 64)
+        assert cost.io_pages > 0.0
+
+    def test_top_n_cheaper_than_full_sort(self, params):
+        full = C.sort_cost(params, 1_000_000, 64)
+        topn = C.sort_cost(params, 1_000_000, 64, top_n=100)
+        assert topn.total < full.total
+
+    def test_hash_build_spills_beyond_work_mem(self, params):
+        fits = C.hash_build_cost(params, 1000, 64)
+        spills = C.hash_build_cost(params, params.work_mem_bytes // 16, 64)
+        assert fits.io_pages == 0.0
+        assert spills.io_pages > 0.0
+
+    def test_hash_join_cost_grows_with_probe(self, params):
+        small = C.hash_join_cost(params, 1_000, 100, 32, 500)
+        large = C.hash_join_cost(params, 1_000_000, 100, 32, 500)
+        assert large.total > small.total
+
+
+class TestOtherOperators:
+    def test_nested_loop_blows_up_with_outer(self, params):
+        cheap = C.nested_loop_cost(params, 10, 1.0, 10)
+        pricey = C.nested_loop_cost(params, 100_000, 1.0, 10)
+        assert pricey.total > 100 * cheap.total
+
+    def test_merge_join_linear(self, params):
+        c = C.merge_join_cost(params, 1000, 1000, 500)
+        assert c.total > 0
+
+    def test_aggregate_strategies_ordered(self, params):
+        hashed = C.aggregate_cost(params, 10_000, 100, 1, "hashed")
+        sorted_ = C.aggregate_cost(params, 10_000, 100, 1, "sorted")
+        plain = C.aggregate_cost(params, 10_000, 1, 1, "plain")
+        assert hashed.total > sorted_.total > plain.total * 0.1
+
+    def test_materialize_spill(self, params):
+        fits = C.materialize_cost(params, 100, 64)
+        spills = C.materialize_cost(params, params.work_mem_bytes // 8, 64)
+        assert fits.io_pages == 0.0
+        assert spills.io_pages > 0.0
+
+    def test_limit_cheap(self, params):
+        assert C.limit_cost(params, 10).total < 1.0
+
+    def test_helpers(self, params):
+        assert C.bytes_of(10, 8) == 80
+        assert C.pages_of(0, 8) == 1.0
+        assert params.work_mem_pages > 0

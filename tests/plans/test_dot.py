@@ -1,0 +1,43 @@
+"""Tests for DOT export of plans and their network mirror."""
+
+import numpy as np
+import pytest
+
+from repro.plans.dot import network_to_dot, plan_to_dot
+from repro.workload import Workbench
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return Workbench("tpch", seed=0).generate(3, rng=np.random.default_rng(0))[2].plan
+
+
+class TestPlanToDot:
+    def test_valid_digraph(self, plan):
+        dot = plan_to_dot(plan)
+        assert dot.startswith("digraph plan {")
+        assert dot.rstrip().endswith("}")
+
+    def test_one_node_per_operator(self, plan):
+        dot = plan_to_dot(plan)
+        assert dot.count("[label=") == plan.node_count()
+
+    def test_one_edge_per_child(self, plan):
+        dot = plan_to_dot(plan)
+        edges = sum(1 for line in dot.splitlines() if "->" in line)
+        assert edges == plan.node_count() - 1
+
+    def test_analyze_includes_times(self, plan):
+        assert "ms" in plan_to_dot(plan, analyze=True)
+        assert "ms" not in plan_to_dot(plan, analyze=False)
+
+
+class TestNetworkToDot:
+    def test_units_labelled_by_type(self, plan):
+        dot = network_to_dot(plan)
+        assert "N_scan" in dot
+        assert "digraph qppnet" in dot
+
+    def test_edges_carry_data_vector(self, plan):
+        dot = network_to_dot(plan, data_size=16)
+        assert "latency + data[16]" in dot

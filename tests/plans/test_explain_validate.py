@@ -1,0 +1,87 @@
+"""Tests for EXPLAIN rendering and plan validation."""
+
+import numpy as np
+import pytest
+
+from repro.plans import (
+    PhysicalOp,
+    PlanNode,
+    PlanValidationError,
+    count_logical,
+    explain_json,
+    explain_text,
+    parse_explain_json,
+    validate_plan,
+)
+from repro.workload import Workbench
+
+
+@pytest.fixture(scope="module")
+def analyzed_plan():
+    wb = Workbench("tpch", seed=0)
+    sample = wb.generate(3, rng=np.random.default_rng(0))[2]
+    return sample.plan
+
+
+class TestExplainText:
+    def test_contains_operator_names(self, analyzed_plan):
+        text = explain_text(analyzed_plan)
+        assert "Seq Scan" in text or "Index Scan" in text
+        assert "cost=" in text
+
+    def test_analyze_adds_actuals(self, analyzed_plan):
+        text = explain_text(analyzed_plan, analyze=True)
+        assert "actual time=" in text
+
+    def test_plain_explain_hides_actuals(self, analyzed_plan):
+        assert "actual time=" not in explain_text(analyzed_plan, analyze=False)
+
+    def test_child_indentation(self, analyzed_plan):
+        lines = explain_text(analyzed_plan).splitlines()
+        assert any(line.lstrip().startswith("->") for line in lines[1:])
+
+
+class TestExplainJson:
+    def test_roundtrip(self, analyzed_plan):
+        text = explain_json(analyzed_plan, analyze=True)
+        restored = parse_explain_json(text)
+        assert restored.structure_signature() == analyzed_plan.structure_signature()
+
+    def test_plain_json_strips_actuals(self, analyzed_plan):
+        text = explain_json(analyzed_plan, analyze=False)
+        assert "Actual Total Time" not in text
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_explain_json('{"not": "a plan"}')
+
+
+class TestValidation:
+    def test_generated_plans_validate(self, analyzed_plan):
+        validate_plan(analyzed_plan, analyzed=True)
+
+    def test_arity_checked(self):
+        bad = PlanNode(PhysicalOp.HASH_JOIN, {"Join Type": "inner"}, [])
+        with pytest.raises(PlanValidationError, match="children"):
+            validate_plan(bad)
+
+    def test_missing_props_checked(self):
+        bad = PlanNode(PhysicalOp.SEQ_SCAN, {})
+        with pytest.raises(PlanValidationError, match="missing property"):
+            validate_plan(bad)
+
+    def test_cumulative_cost_checked(self, analyzed_plan):
+        broken = analyzed_plan.clone()
+        broken.props["Total Cost"] = 0.0001
+        with pytest.raises(PlanValidationError, match="cumulative"):
+            validate_plan(broken)
+
+    def test_missing_actuals_detected(self, analyzed_plan):
+        broken = analyzed_plan.clone()
+        broken.actual_total_ms = None
+        with pytest.raises(PlanValidationError, match="actuals"):
+            validate_plan(broken, analyzed=True)
+
+    def test_count_logical(self, analyzed_plan):
+        counts = count_logical(analyzed_plan)
+        assert sum(counts.values()) == analyzed_plan.node_count()

@@ -1,0 +1,90 @@
+"""Hypothesis property tests for plan trees.
+
+Random plan trees (respecting per-type arity) must uphold the invariants
+the batching and training layers rely on: traversal counts, signature
+stability, serialization roundtrips.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plans import LOGICAL_ARITY, LogicalType, PhysicalOp, PlanNode
+
+UNARY_OPS = [PhysicalOp.SORT, PhysicalOp.HASH, PhysicalOp.AGGREGATE, PhysicalOp.MATERIALIZE, PhysicalOp.LIMIT]
+LEAF_OPS = [PhysicalOp.SEQ_SCAN, PhysicalOp.INDEX_SCAN]
+JOIN_OPS = [PhysicalOp.HASH_JOIN, PhysicalOp.MERGE_JOIN, PhysicalOp.NESTED_LOOP]
+
+
+def pick(rng: np.random.Generator, options: list) -> PhysicalOp:
+    return options[int(rng.integers(0, len(options)))]
+
+
+def random_tree(rng: np.random.Generator, depth: int) -> PlanNode:
+    """Arity-correct random plan tree."""
+    if depth <= 0 or rng.random() < 0.3:
+        return PlanNode(pick(rng, LEAF_OPS), {"Relation Name": f"r{rng.integers(0, 5)}"})
+    if rng.random() < 0.5:
+        op = pick(rng, JOIN_OPS)
+        return PlanNode(op, {"Join Type": "inner"},
+                        [random_tree(rng, depth - 1), random_tree(rng, depth - 1)])
+    op = pick(rng, UNARY_OPS)
+    return PlanNode(op, {}, [random_tree(rng, depth - 1)])
+
+
+tree_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(tree_seeds, st.integers(min_value=0, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_traversals_visit_every_node_once(seed, depth):
+    tree = random_tree(np.random.default_rng(seed), depth)
+    pre = [id(n) for n in tree.preorder()]
+    post = [id(n) for n in tree.postorder()]
+    assert len(pre) == len(set(pre)) == len(post) == len(set(post))
+    assert set(pre) == set(post)
+
+
+@given(tree_seeds, st.integers(min_value=0, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_arity_always_respected(seed, depth):
+    tree = random_tree(np.random.default_rng(seed), depth)
+    for node in tree.preorder():
+        assert len(node.children) == LOGICAL_ARITY[node.logical_type]
+
+
+@given(tree_seeds, st.integers(min_value=0, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_clone_preserves_signature_and_counts(seed, depth):
+    tree = random_tree(np.random.default_rng(seed), depth)
+    copy = tree.clone()
+    assert copy.structure_signature() == tree.structure_signature()
+    assert copy.node_count() == tree.node_count()
+    assert copy.depth() == tree.depth()
+
+
+@given(tree_seeds, st.integers(min_value=0, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_dict_roundtrip_preserves_structure(seed, depth):
+    tree = random_tree(np.random.default_rng(seed), depth)
+    restored = PlanNode.from_dict(tree.to_dict())
+    assert restored.structure_signature() == tree.structure_signature()
+
+
+@given(tree_seeds, st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_signature_length_bounded(seed, depth):
+    # Signatures are linear in node count (no exponential blowup).
+    tree = random_tree(np.random.default_rng(seed), depth)
+    sig = tree.structure_signature()
+    max_token = max(len(t.value) for t in LogicalType)
+    assert len(sig) <= tree.node_count() * (max_token + 3)
+
+
+@given(tree_seeds, st.integers(min_value=0, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_depth_bounds_node_count(seed, depth):
+    tree = random_tree(np.random.default_rng(seed), depth)
+    d = tree.depth()
+    n = tree.node_count()
+    assert d <= n <= 2**d - 1 + (1 if d == 1 else 0) or n >= d

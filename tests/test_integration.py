@@ -1,0 +1,85 @@
+"""Cross-module integration tests: the full paper pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import QPPNet, QPPNetConfig, Trainer
+from repro.core.bundle import load_bundle, save_bundle
+from repro.evaluation import relative_error
+from repro.featurize import Featurizer
+from repro.plans import validate_plan
+from repro.workload import Workbench, random_split
+from repro.workload.corpus_io import load_corpus, save_corpus
+
+
+class TestFullPipeline:
+    def test_generate_train_predict_deterministic(self):
+        """The entire pipeline is reproducible bit-for-bit under a seed."""
+
+        def run() -> float:
+            wb = Workbench("tpch", seed=0)
+            corpus = wb.generate(30, rng=np.random.default_rng(5))
+            featurizer = Featurizer().fit([s.plan for s in corpus])
+            config = QPPNetConfig(
+                hidden_layers=1, neurons=8, data_size=2, epochs=3, batch_size=8, seed=1
+            )
+            model = QPPNet(featurizer, config)
+            Trainer(model, config).fit(corpus)
+            return model.predict(corpus[0].plan)
+
+        assert run() == pytest.approx(run())
+
+    def test_corpus_roundtrip_preserves_training(self, tmp_path):
+        """Training from a reloaded corpus equals training from memory."""
+        wb = Workbench("tpch", seed=0)
+        corpus = wb.generate(24, rng=np.random.default_rng(6))
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(corpus, path)
+        reloaded = load_corpus(path)
+
+        def train(samples) -> float:
+            featurizer = Featurizer().fit([s.plan for s in samples])
+            config = QPPNetConfig(
+                hidden_layers=1, neurons=8, data_size=2, epochs=2, batch_size=8, seed=2
+            )
+            model = QPPNet(featurizer, config)
+            Trainer(model, config).fit(samples)
+            return model.predict(samples[0].plan)
+
+        assert train(corpus) == pytest.approx(train(reloaded))
+
+    def test_end_to_end_with_bundle(self, tmp_path):
+        """Generate -> split -> train -> save bundle -> reload -> score."""
+        wb = Workbench("tpch", seed=0)
+        corpus = wb.generate(60, rng=np.random.default_rng(7))
+        for sample in corpus[:3]:
+            validate_plan(sample.plan, analyzed=True)
+        ds = random_split(corpus, 0.2, np.random.default_rng(8))
+        featurizer = Featurizer().fit([s.plan for s in ds.train])
+        config = QPPNetConfig(hidden_layers=2, neurons=24, data_size=8, epochs=50, batch_size=16)
+        model = QPPNet(featurizer, config)
+        Trainer(model, config).fit(ds.train)
+        save_bundle(model, tmp_path / "m")
+        restored = load_bundle(tmp_path / "m")
+        actual = np.array([s.latency_ms for s in ds.test])
+        preds = np.array([restored.predict(s.plan) for s in ds.test])
+        # A 50-epoch model on 48 plans should already be far better than
+        # wild guessing on seen-template holdout.
+        assert relative_error(actual, preds) < 1.0
+
+    def test_different_db_seeds_give_different_databases(self):
+        a = Workbench("tpch", seed=1).generate(5, rng=np.random.default_rng(0))
+        b = Workbench("tpch", seed=2).generate(5, rng=np.random.default_rng(0))
+        assert [s.latency_ms for s in a] != [s.latency_ms for s in b]
+
+    def test_featurizer_fitted_on_train_only_handles_test(self):
+        """Unseen relations/sort keys at test time must not crash."""
+        wb = Workbench("tpcds", seed=0)
+        corpus = wb.generate(140, rng=np.random.default_rng(9))
+        from repro.workload import template_holdout_split
+
+        ds = template_holdout_split(corpus, 10, np.random.default_rng(10))
+        featurizer = Featurizer().fit([s.plan for s in ds.train])
+        for sample in ds.test:
+            for vec in featurizer.transform_plan(sample.plan):
+                assert np.isfinite(vec).all()

@@ -1,0 +1,37 @@
+"""Every template must plan, execute and validate end to end."""
+
+import numpy as np
+import pytest
+
+from repro.plans import validate_plan
+from repro.workload import TPCDS_TEMPLATES, TPCH_TEMPLATES, Workbench
+
+
+@pytest.fixture(scope="module")
+def tpch_wb():
+    return Workbench("tpch", seed=0)
+
+
+@pytest.fixture(scope="module")
+def tpcds_wb():
+    return Workbench("tpcds", seed=0)
+
+
+@pytest.mark.parametrize("template", TPCH_TEMPLATES, ids=lambda t: t.template_id)
+def test_tpch_template_executes(tpch_wb, template):
+    rng = np.random.default_rng(hash(template.template_id) % 2**32)
+    sample = tpch_wb.sample(template, rng)
+    validate_plan(sample.plan, analyzed=True)
+    assert sample.latency_ms > 0
+    assert sample.plan.actual_total_ms == sample.latency_ms
+
+
+@pytest.mark.parametrize("template", TPCDS_TEMPLATES, ids=lambda t: t.template_id)
+def test_tpcds_template_executes(tpcds_wb, template):
+    rng = np.random.default_rng(hash(template.template_id) % 2**32)
+    sample = tpcds_wb.sample(template, rng)
+    validate_plan(sample.plan, analyzed=True)
+    assert sample.latency_ms > 0
+    # TPC-DS stars: every multi-table plan contains at least one join.
+    if len(template.tables) > 1:
+        assert any(n.logical_type.value == "join" for n in sample.plan.preorder())

@@ -1,0 +1,33 @@
+"""Tests for the workload CLI."""
+
+import pytest
+
+from repro.workload.__main__ import main
+
+
+class TestGenerate:
+    def test_generate_and_inspect(self, tmp_path, capsys):
+        out = tmp_path / "c.jsonl"
+        assert main(["generate", "--workload", "tpch", "-n", "5", "-o", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "wrote 5 executed queries" in captured
+        assert main(["inspect", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "5 queries" in captured
+        assert "operator mix" in captured
+
+
+class TestExplain:
+    def test_explain_plain(self, capsys):
+        assert main(["explain", "--workload", "tpch", "--template", "tpch_q6"]) == 0
+        out = capsys.readouterr().out
+        assert "Aggregate" in out
+        assert "actual time" not in out
+
+    def test_explain_analyze(self, capsys):
+        assert main(["explain", "--workload", "tpch", "--template", "tpch_q6", "--analyze"]) == 0
+        assert "actual time" in capsys.readouterr().out
+
+    def test_unknown_template(self):
+        with pytest.raises(KeyError):
+            main(["explain", "--workload", "tpch", "--template", "zzz"])

@@ -1,0 +1,78 @@
+"""Tests for corpus persistence (save/load executed plans)."""
+
+import numpy as np
+import pytest
+
+from repro.workload import Workbench
+from repro.workload.corpus_io import load_corpus, save_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return Workbench("tpch", seed=0).generate(10, rng=np.random.default_rng(1))
+
+
+class TestRoundTrip:
+    def test_counts(self, corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        assert save_corpus(corpus, path) == 10
+        loaded = load_corpus(path)
+        assert len(loaded) == 10
+
+    def test_labels_preserved(self, corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(corpus, path)
+        loaded = load_corpus(path)
+        for original, restored in zip(corpus, loaded):
+            assert restored.latency_ms == pytest.approx(original.latency_ms)
+            assert restored.template_id == original.template_id
+            assert restored.workload == original.workload
+
+    def test_per_operator_actuals_preserved(self, corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(corpus, path)
+        loaded = load_corpus(path)
+        for original, restored in zip(corpus, loaded):
+            orig_nodes = list(original.plan.preorder())
+            rest_nodes = list(restored.plan.preorder())
+            assert len(orig_nodes) == len(rest_nodes)
+            for a, b in zip(orig_nodes, rest_nodes):
+                assert b.actual_total_ms == pytest.approx(a.actual_total_ms)
+                assert b.op == a.op
+
+    def test_truth_not_persisted(self, corpus, tmp_path):
+        # A stored corpus contains only what a real DBMS exposes.
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(corpus, path)
+        for sample in load_corpus(path):
+            assert all(not n.truth for n in sample.plan.preorder())
+
+    def test_loaded_corpus_trains(self, corpus, tmp_path):
+        from repro.core import QPPNetConfig, train_qppnet
+
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(corpus, path)
+        loaded = load_corpus(path)
+        model, history = train_qppnet(
+            loaded,
+            config=QPPNetConfig(hidden_layers=1, neurons=8, data_size=2, epochs=2, batch_size=8),
+        )
+        assert history.final_loss > 0
+
+
+class TestErrors:
+    def test_empty_save_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_corpus([], tmp_path / "c.jsonl")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text("\n")
+        with pytest.raises(ValueError):
+            load_corpus(path)
+
+    def test_malformed_line_diagnosed(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"template_id": "x"}\n')
+        with pytest.raises(ValueError, match="line 1"):
+            load_corpus(path)

@@ -1,0 +1,118 @@
+"""Tests for corpus generation and train/test splits."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    Workbench,
+    random_split,
+    template_folds,
+    template_holdout_split,
+)
+
+
+@pytest.fixture(scope="module")
+def tpch_corpus():
+    wb = Workbench("tpch", seed=0)
+    return wb.generate(66, rng=np.random.default_rng(5))
+
+
+class TestWorkbench:
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(ValueError):
+            Workbench("tpcx")
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            Workbench("tpch", seed=0).generate(0)
+
+    def test_generates_requested_count(self, tpch_corpus):
+        assert len(tpch_corpus) == 66
+
+    def test_cycles_all_templates(self, tpch_corpus):
+        templates = {s.template_id for s in tpch_corpus}
+        assert len(templates) == 22  # 66 = 3 full cycles
+
+    def test_samples_analyzed(self, tpch_corpus):
+        for s in tpch_corpus[:5]:
+            assert s.latency_ms > 0
+            assert s.plan.actual_total_ms == s.latency_ms
+
+    def test_deterministic_given_seeds(self):
+        a = Workbench("tpch", seed=3).generate(5, rng=np.random.default_rng(9))
+        b = Workbench("tpch", seed=3).generate(5, rng=np.random.default_rng(9))
+        assert [s.latency_ms for s in a] == [s.latency_ms for s in b]
+
+    def test_template_by_id(self):
+        wb = Workbench("tpch", seed=0)
+        assert wb.template_by_id("tpch_q1").template_id == "tpch_q1"
+        with pytest.raises(KeyError):
+            wb.template_by_id("nope")
+
+    def test_tpcds_bigger_plans_than_tpch(self):
+        # The paper: TPC-DS plans average more operators than TPC-H (22 vs 18).
+        tpch = Workbench("tpch", seed=0).generate(22, rng=np.random.default_rng(0))
+        tpcds = Workbench("tpcds", seed=0).generate(70, rng=np.random.default_rng(0))
+        assert np.mean([s.n_operators for s in tpcds]) > np.mean(
+            [s.n_operators for s in tpch]
+        )
+
+
+class TestRandomSplit:
+    def test_fraction_respected(self, tpch_corpus):
+        ds = random_split(tpch_corpus, 0.1, np.random.default_rng(0))
+        assert ds.n_test == round(len(tpch_corpus) * 0.1)
+        assert ds.n_train + ds.n_test == len(tpch_corpus)
+
+    def test_disjoint(self, tpch_corpus):
+        ds = random_split(tpch_corpus, 0.2, np.random.default_rng(0))
+        train_ids = {id(s) for s in ds.train}
+        assert all(id(s) not in train_ids for s in ds.test)
+
+    def test_bad_fraction_rejected(self, tpch_corpus):
+        with pytest.raises(ValueError):
+            random_split(tpch_corpus, 0.0)
+        with pytest.raises(ValueError):
+            random_split(tpch_corpus, 1.0)
+
+    def test_summary(self, tpch_corpus):
+        assert "train=" in random_split(tpch_corpus, 0.1).summary()
+
+
+class TestTemplateHoldout:
+    def test_holdout_templates_absent_from_train(self, tpch_corpus):
+        ds = template_holdout_split(tpch_corpus, 5, np.random.default_rng(0))
+        held = set(ds.held_out_templates)
+        assert len(held) == 5
+        assert all(s.template_id not in held for s in ds.train)
+        assert all(s.template_id in held for s in ds.test)
+
+    def test_explicit_holdout_list(self, tpch_corpus):
+        ds = template_holdout_split(tpch_corpus, holdout_templates=["tpch_q1"])
+        assert ds.held_out_templates == ("tpch_q1",)
+
+    def test_unknown_template_rejected(self, tpch_corpus):
+        with pytest.raises(ValueError):
+            template_holdout_split(tpch_corpus, holdout_templates=["zzz"])
+
+    def test_cannot_hold_out_everything(self, tpch_corpus):
+        with pytest.raises(ValueError):
+            template_holdout_split(tpch_corpus, 22)
+
+
+class TestTemplateFolds:
+    def test_every_template_tested_once(self, tpch_corpus):
+        folds = template_folds(tpch_corpus, 4, np.random.default_rng(0))
+        tested = [t for f in folds for t in f.held_out_templates]
+        assert sorted(tested) == sorted({s.template_id for s in tpch_corpus})
+
+    def test_fold_test_train_disjoint(self, tpch_corpus):
+        for fold in template_folds(tpch_corpus, 3, np.random.default_rng(0)):
+            held = set(fold.held_out_templates)
+            assert all(s.template_id not in held for s in fold.train)
+
+    def test_bad_fold_counts(self, tpch_corpus):
+        with pytest.raises(ValueError):
+            template_folds(tpch_corpus, 1)
+        with pytest.raises(ValueError):
+            template_folds(tpch_corpus, 100)

@@ -1,0 +1,106 @@
+"""Tests for the TPC-H / TPC-DS template catalogs."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import tpcds_schema, tpch_schema
+from repro.workload import (
+    TPCDS_TEMPLATE_NUMBERS,
+    TPCDS_TEMPLATES,
+    TPCH_TEMPLATES,
+    tpcds_template_ids,
+    tpch_template_ids,
+)
+
+
+class TestCatalogSizes:
+    def test_twenty_two_tpch_templates(self):
+        assert len(TPCH_TEMPLATES) == 22
+
+    def test_seventy_tpcds_templates(self):
+        # The paper: "seventy (70) TPC-DS query templates are compatible
+        # with PostgreSQL ... we use only these templates".
+        assert len(TPCDS_TEMPLATES) == 70
+
+    def test_unique_ids(self):
+        assert len(set(tpch_template_ids())) == 22
+        assert len(set(tpcds_template_ids())) == 70
+
+    def test_figure8_template_numbers_present(self):
+        # Numbers from Figure 8's x-axis.
+        expected_subset = {3, 6, 17, 64, 72, 81, 97}
+        assert expected_subset <= set(TPCDS_TEMPLATE_NUMBERS)
+
+
+class TestTemplateValidity:
+    @pytest.mark.parametrize("template", TPCH_TEMPLATES, ids=lambda t: t.template_id)
+    def test_tpch_references_resolve(self, template):
+        schema = tpch_schema(1.0)
+        self._check(template, schema)
+
+    @pytest.mark.parametrize("template", TPCDS_TEMPLATES, ids=lambda t: t.template_id)
+    def test_tpcds_references_resolve(self, template):
+        schema = tpcds_schema(1.0)
+        self._check(template, schema)
+
+    @staticmethod
+    def _check(template, schema):
+        alias_to_table = {}
+        for tt in template.tables:
+            table = schema.table(tt.table)
+            alias_to_table[tt.effective_alias] = table
+            for pt in tt.predicates:
+                assert table.has_column(pt.column), (tt.table, pt.column)
+        for jt in template.joins:
+            for alias, column in (jt.left, jt.right):
+                assert alias in alias_to_table, alias
+                assert alias_to_table[alias].has_column(column), (alias, column)
+        if template.aggregate:
+            for qualified in template.aggregate.group_by:
+                alias, _, column = qualified.partition(".")
+                assert alias_to_table[alias].has_column(column), qualified
+
+
+class TestInstantiation:
+    def test_selectivities_within_range(self):
+        template = TPCH_TEMPLATES[0]  # q1 has a shipdate predicate
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            spec = template.instantiate(rng)
+            pred = spec.tables[0].predicates[0]
+            lo, hi = template.tables[0].predicates[0].sel_range
+            assert lo * 0.99 <= pred.selectivity <= hi * 1.01
+
+    def test_instances_differ(self):
+        template = TPCH_TEMPLATES[0]
+        rng = np.random.default_rng(0)
+        sels = {template.instantiate(rng).tables[0].predicates[0].selectivity for _ in range(10)}
+        assert len(sels) > 1
+
+    def test_data_properties_fixed_per_db_seed(self):
+        template = next(t for t in TPCH_TEMPLATES if t.joins)
+        rng = np.random.default_rng(0)
+        a = template.instantiate(rng, db_seed=1)
+        b = template.instantiate(np.random.default_rng(99), db_seed=1)
+        assert [j.skew for j in a.joins] == [j.skew for j in b.joins]
+        assert [t.correlation for t in a.tables] == [t.correlation for t in b.tables]
+
+    def test_skew_shared_across_templates_with_same_edge(self):
+        # q3 and q5 both join lineitem.l_orderkey with orders.o_orderkey:
+        # the data skew of that FK edge must match.
+        rng = np.random.default_rng(0)
+        by_id = {t.template_id: t for t in TPCH_TEMPLATES}
+        q3 = by_id["tpch_q3"].instantiate(rng, db_seed=2)
+        q5 = by_id["tpch_q5"].instantiate(rng, db_seed=2)
+
+        def edge_skew(spec, ccol):
+            return next(j.skew for j in spec.joins if j.left_column == ccol)
+
+        assert edge_skew(q3, "l_orderkey") == edge_skew(q5, "l_orderkey")
+
+    def test_db_seed_changes_data_properties(self):
+        template = next(t for t in TPCH_TEMPLATES if t.joins)
+        rng = np.random.default_rng(0)
+        a = template.instantiate(rng, db_seed=1)
+        b = template.instantiate(rng, db_seed=2)
+        assert [j.skew for j in a.joins] != [j.skew for j in b.joins]
