@@ -1,0 +1,69 @@
+"""BENCH: serving throughput — per-plan predict loop vs batched inference.
+
+Measures plans/sec over a 512-plan mixed-template workload (every TPC-H
+template represented), the workload shape of the ROADMAP's heavy-traffic
+serving target.  The ISSUE-1 acceptance bar: ``predict_batch`` at >= 5x
+the per-plan loop, with <= 1e-9 numeric agreement.
+
+Run:  python -m pytest benchmarks/test_serving_throughput.py -s
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import QPPNet, QPPNetConfig
+from repro.featurize import Featurizer
+from repro.serving import InferenceSession
+from repro.workload import Workbench
+
+N_PLANS = 512
+REQUIRED_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    wb = Workbench("tpch", scale_factor=0.2, seed=0)
+    corpus = wb.generate(N_PLANS, rng=np.random.default_rng(1))
+    featurizer = Featurizer().fit([s.plan for s in corpus])
+    model = QPPNet(featurizer, QPPNetConfig())
+    return model, [s.plan for s in corpus]
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_batched_inference_throughput(workload):
+    model, plans = workload
+    session = InferenceSession(model)
+
+    # Warm both paths: schedule compilation and buffer growth are
+    # one-time costs that steady-state serving never pays again.
+    session.predict_batch(plans)
+    reference = np.array([model.predict(p) for p in plans])
+
+    per_plan_s = _best_of(lambda: [model.predict(p) for p in plans])
+    batched_s = _best_of(lambda: session.predict_batch(plans))
+
+    batched = session.predict_batch(plans)
+    agreement = float(np.max(np.abs(batched - reference)))
+    speedup = per_plan_s / batched_s
+    n_structures = len({p.structure_signature() for p in plans})
+
+    print(
+        f"\n[serving-throughput] {N_PLANS} plans, {n_structures} structures\n"
+        f"  per-plan loop : {per_plan_s:.3f}s  ({N_PLANS / per_plan_s:8.0f} plans/s)\n"
+        f"  predict_batch : {batched_s:.3f}s  ({N_PLANS / batched_s:8.0f} plans/s)\n"
+        f"  speedup       : {speedup:.1f}x   (required >= {REQUIRED_SPEEDUP:.0f}x)\n"
+        f"  max |diff|    : {agreement:.2e}  (required <= 1e-9)"
+    )
+
+    assert agreement <= 1e-9
+    assert speedup >= REQUIRED_SPEEDUP

@@ -12,11 +12,14 @@ import numpy as np
 
 from repro.core import QPPNetConfig
 from repro.evaluation import MODEL_ORDER, evaluate_models, r_values
+from repro.serving import ModelRegistry
 from repro.workload import Workbench, random_split, template_holdout_split
 
 
 def main() -> None:
     config = QPPNetConfig(epochs=60, batch_size=64)
+    # One registry serving both workloads' QPP Nets side by side.
+    registry = ModelRegistry()
     for workload, label in (("tpch", "TPC-H"), ("tpcds", "TPC-DS")):
         workbench = Workbench(workload, scale_factor=1.0, seed=0)
         # Deep-learning predictors are data hungry: the TPC-DS template
@@ -49,6 +52,15 @@ def main() -> None:
                 f"  {model:<9} {result.test_templates[worst]:<12} off by"
                 f" {r[worst]:.1f}x (actual {result.actuals[worst] / 1000:.2f}s)"
             )
+
+        registry.register(workload, result.models["QPP Net"])
+
+    # Both trained QPP Nets stay loaded and servable: any later batch of
+    # plans routes to its workload's session (schedule caches stay warm).
+    print(f"\nregistry serving models: {registry.names()}")
+    for name in registry:
+        session = registry.session(name)
+        print(f"  {name}: {len(session.model.units)} units ready for predict_batch")
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ import numpy as np
 from repro.core import QPPNetConfig
 from repro.evaluation import train_qppnet_model
 from repro.plans import explain_text
+from repro.serving import InferenceSession
 from repro.workload import Workbench, random_split
 
 
@@ -31,7 +32,8 @@ def main() -> None:
           f"({plan.node_count()} operators, actual {sample.latency_ms / 1000:.2f}s)\n")
     print(explain_text(plan))
 
-    predictions = model.predict_operators(plan)  # preorder, cumulative ms
+    session = InferenceSession(model)
+    predictions = session.predict_operators(plan)  # preorder, cumulative ms
     nodes = list(plan.preorder())
     total_pred = predictions[0]
     total_cost = float(plan.props["Total Cost"])

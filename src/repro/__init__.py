@@ -11,6 +11,7 @@ Public API quick map
 ``repro.workload``    query templates, corpus generation, splits
 ``repro.featurize``   Appendix-B feature encoding
 ``repro.core``        QPP Net: neural units, plan-structured model, trainer
+``repro.serving``     batched inference: compile / cache / bucket / scatter
 ``repro.baselines``   SVM / RBF / TAM comparison models
 ``repro.evaluation``  metrics (relative error, MAE, R) + harness
 ``repro.experiments`` one module per paper table/figure

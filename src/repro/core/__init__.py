@@ -2,6 +2,7 @@
 
 from .bundle import load_bundle, save_bundle
 from .batching import (
+    BufferPool,
     PlanGraph,
     StructureGroup,
     VectorizedPlan,
@@ -11,6 +12,7 @@ from .batching import (
     vectorize_corpus,
     vectorize_plan,
 )
+from .compile import CompiledSchedule, ScheduleCache, ScheduleStep
 from .config import TRAINING_MODES, QPPNetConfig
 from .model import MIN_PREDICTION_MS, QPPNet
 from .trainer import Trainer, TrainingHistory, train_qppnet
@@ -35,4 +37,8 @@ __all__ = [
     "vectorize_corpus",
     "group_by_structure",
     "sample_batches",
+    "BufferPool",
+    "CompiledSchedule",
+    "ScheduleCache",
+    "ScheduleStep",
 ]

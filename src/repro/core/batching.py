@@ -13,6 +13,7 @@ equivalence classes, each with stacked feature/label matrices.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -106,8 +107,70 @@ class StructureGroup:
         return self.labels.size
 
 
-def group_by_structure(plans: Sequence[VectorizedPlan]) -> list[StructureGroup]:
-    """Partition into equivalence classes c1..cn (paper §5.1.1)."""
+class BufferPool:
+    """Reusable stacking buffers, keyed by the caller (hot-path allocs).
+
+    ``take(key, shape)`` returns a writable ``(rows, width)`` array; the
+    backing allocation is kept per key and handed out again on the next
+    call, growing only when ``rows`` exceeds the stored capacity.  Reuse
+    is only safe once the previous batch built from the pool is fully
+    consumed (in training: after ``loss.backward()`` + optimizer step),
+    which is exactly the batch-at-a-time cadence of the trainer and the
+    serving session.
+
+    ``max_entries`` bounds the number of retained buffers (LRU
+    eviction), so a long-lived pool serving ever-new keys — e.g. an
+    ad-hoc workload with unbounded distinct plan structures — cannot
+    grow without limit.  Evicted buffers still referenced by a live
+    batch stay valid (ordinary refcounting); only the pool forgets them.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive (or None)")
+        self.max_entries = max_entries
+        self._buffers: OrderedDict[object, np.ndarray] = OrderedDict()
+
+    def take(self, key: object, shape: tuple[int, int]) -> np.ndarray:
+        rows, width = shape
+        buffer = self._buffers.get(key)
+        if buffer is None or buffer.shape[0] < rows or buffer.shape[1] != width:
+            buffer = np.empty((rows, width))
+            self._buffers[key] = buffer
+        if self.max_entries is not None:
+            self._buffers.move_to_end(key)
+            while len(self._buffers) > self.max_entries:
+                self._buffers.popitem(last=False)
+        return buffer[:rows]
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+
+def _stack_rows(
+    rows: list[np.ndarray], pool: Optional[BufferPool], key: object
+) -> np.ndarray:
+    width = rows[0].shape[-1]
+    if pool is None:
+        return np.vstack(rows)
+    out = pool.take(key, (len(rows), width))
+    for i, row in enumerate(rows):
+        out[i] = row
+    return out
+
+
+def group_by_structure(
+    plans: Sequence[VectorizedPlan], pool: Optional[BufferPool] = None
+) -> list[StructureGroup]:
+    """Partition into equivalence classes c1..cn (paper §5.1.1).
+
+    With a :class:`BufferPool`, the stacked feature/label matrices are
+    written into reused buffers instead of fresh ``np.vstack`` output —
+    the per-batch steady state of training and serving allocates nothing.
+    """
     buckets: dict[str, list[VectorizedPlan]] = {}
     for plan in plans:
         buckets.setdefault(plan.graph.signature, []).append(plan)
@@ -116,9 +179,10 @@ def group_by_structure(plans: Sequence[VectorizedPlan]) -> list[StructureGroup]:
         members = buckets[signature]
         graph = members[0].graph
         features = [
-            np.vstack([m.features[p] for m in members]) for p in range(graph.n_nodes)
+            _stack_rows([m.features[p] for m in members], pool, (signature, p))
+            for p in range(graph.n_nodes)
         ]
-        labels = np.vstack([m.labels for m in members])
+        labels = _stack_rows([m.labels for m in members], pool, (signature, "labels"))
         groups.append(StructureGroup(graph, features, labels))
     return groups
 

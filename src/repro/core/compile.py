@@ -1,0 +1,182 @@
+"""Compile-once plan execution (§5.1 turned into an explicit artifact).
+
+The paper's systems contribution is that plans sharing a tree structure
+can be served by one vectorized forward pass.  Deriving *how* to run that
+pass — the postorder unit schedule, which unit serves each position, and
+where each child's output lands inside each parent's input vector — is
+pure bookkeeping that depends only on the :class:`~repro.core.batching.PlanGraph`,
+not on the batch.  A :class:`CompiledSchedule` performs that derivation
+exactly once per structure signature and is then reused for every batch
+of that structure, by both training and inference:
+
+* :meth:`CompiledSchedule.run_training` executes the schedule with taped
+  :class:`~repro.nn.Tensor` ops (differentiable, used by
+  :meth:`repro.core.model.QPPNet.forward_group` and therefore the
+  :class:`~repro.core.trainer.Trainer`);
+* :meth:`CompiledSchedule.run_inference` executes it with raw numpy
+  through ``forward_numpy`` fast paths, assembling each unit's input
+  in a pre-allocated per-position buffer (no tape, no per-batch
+  concatenation allocations).
+
+:class:`ScheduleCache` is the LRU signature cache in front of
+compilation; in template workloads the handful of distinct structures
+means steady-state serving never re-derives a schedule.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.plans.operators import LogicalType
+
+from .batching import BufferPool, PlanGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .unit import NeuralUnit
+
+
+@dataclass(frozen=True)
+class ScheduleStep:
+    """One unit evaluation in postorder, with its input layout resolved.
+
+    The unit's input vector is ``F(op) ⌢ child outputs ⌢ zero padding``
+    (Eq. 6); ``feature_slice`` / ``child_slices`` / ``pad_slice`` are the
+    column ranges of those segments inside the assembled ``(B,
+    in_features)`` matrix.
+    """
+
+    pos: int
+    unit: "NeuralUnit"
+    children: tuple[int, ...]
+    feature_slice: slice
+    child_slices: tuple[slice, ...]
+    pad_slice: slice
+    in_features: int
+
+    @property
+    def needs_assembly(self) -> bool:
+        """False when the unit input is the feature matrix unchanged."""
+        return bool(self.child_slices) or self.pad_slice.start < self.pad_slice.stop
+
+
+class CompiledSchedule:
+    """Reusable execution plan for one structure-equivalence class."""
+
+    def __init__(self, graph: PlanGraph, units: Mapping[LogicalType, "NeuralUnit"]) -> None:
+        self.graph = graph
+        self.signature = graph.signature
+        steps: list[ScheduleStep] = []
+        for pos in graph.postorder:
+            unit = units[graph.types[pos]]
+            children = graph.children[pos]
+            width = unit.data_size + 1
+            feature_slice = slice(0, unit.feature_size)
+            child_slices = tuple(
+                slice(unit.feature_size + i * width, unit.feature_size + (i + 1) * width)
+                for i in range(len(children))
+            )
+            pad_slice = slice(unit.feature_size + len(children) * width, unit.in_features)
+            steps.append(
+                ScheduleStep(
+                    pos=pos,
+                    unit=unit,
+                    children=children,
+                    feature_slice=feature_slice,
+                    child_slices=child_slices,
+                    pad_slice=pad_slice,
+                    in_features=unit.in_features,
+                )
+            )
+        self.steps: tuple[ScheduleStep, ...] = tuple(steps)
+        # Per-position input-assembly buffers, grown on demand and reused
+        # across batches (row capacity >= current batch size).  Bounded
+        # by n_nodes keys, so no eviction cap is needed here.
+        self._buffers = BufferPool()
+
+    @property
+    def n_nodes(self) -> int:
+        return self.graph.n_nodes
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_training(self, features: Sequence[np.ndarray]) -> dict[int, nn.Tensor]:
+        """Differentiable bottom-up pass: ``{position -> (B, d+1) Tensor}``.
+
+        Taped exactly like the pre-compilation ``forward_group`` (input
+        assembly via differentiable concat), so gradients and numerics
+        are unchanged; the schedule only removes per-call unit lookup and
+        order re-derivation.
+        """
+        outputs: dict[int, nn.Tensor] = {}
+        for step in self.steps:
+            unit = step.unit
+            feats = nn.Tensor(features[step.pos])
+            children = [outputs[child] for child in step.children]
+            outputs[step.pos] = unit(unit.assemble_input(feats, children))
+        return outputs
+
+    def run_inference(self, features: Sequence[np.ndarray]) -> dict[int, np.ndarray]:
+        """Tape-free bottom-up pass: ``{position -> (B, d+1) array}``.
+
+        Writes each unit's input into the schedule's reused assembly
+        buffer (feature block, child blocks, zero padding) and evaluates
+        the unit via its ``forward_numpy`` fast path.  Not thread-safe:
+        the buffers are shared per schedule.
+        """
+        outputs: dict[int, np.ndarray] = {}
+        for step in self.steps:
+            feats = features[step.pos]
+            if not step.needs_assembly:
+                x = feats
+            else:
+                batch = feats.shape[0]
+                x = self._buffers.take(step.pos, (batch, step.in_features))
+                x[:, step.feature_slice] = feats
+                for child, column in zip(step.children, step.child_slices):
+                    x[:, column] = outputs[child]
+                if step.pad_slice.start < step.pad_slice.stop:
+                    x[:, step.pad_slice] = 0.0
+            outputs[step.pos] = step.unit.forward_numpy(x)
+        return outputs
+
+
+class ScheduleCache:
+    """LRU cache of :class:`CompiledSchedule` keyed by structure signature."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, CompiledSchedule] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self, graph: PlanGraph, units: Mapping[LogicalType, "NeuralUnit"]
+    ) -> CompiledSchedule:
+        """The schedule for ``graph``'s signature, compiling on first use."""
+        schedule = self._entries.get(graph.signature)
+        if schedule is not None:
+            self._entries.move_to_end(graph.signature)
+            self.hits += 1
+            return schedule
+        self.misses += 1
+        schedule = CompiledSchedule(graph, units)
+        self._entries[graph.signature] = schedule
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return schedule
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

@@ -17,6 +17,7 @@ Two forward strategies implement the §5.1.2 ablation:
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Union
 
 import numpy as np
@@ -26,7 +27,8 @@ from repro.featurize.featurizer import Featurizer
 from repro.plans.node import PlanNode
 from repro.plans.operators import LogicalType
 
-from .batching import StructureGroup, plan_graph
+from .batching import PlanGraph, StructureGroup, plan_graph
+from .compile import CompiledSchedule, ScheduleCache
 from .config import QPPNetConfig
 from .unit import NeuralUnit
 
@@ -55,6 +57,9 @@ class QPPNet(nn.Module):
                 rng=rng,
                 activation=self.config.activation,
             )
+        # Compile-once execution: schedules are derived per structure
+        # signature and reused by training and serving alike.
+        self.schedules = ScheduleCache()
 
     # ------------------------------------------------------------------
     # Parameter plumbing (units live in a dict, so enumerate explicitly)
@@ -66,19 +71,18 @@ class QPPNet(nn.Module):
     # ------------------------------------------------------------------
     # Forward passes
     # ------------------------------------------------------------------
+    def compile_schedule(self, graph: PlanGraph) -> CompiledSchedule:
+        """The (cached) compiled execution schedule for ``graph``."""
+        return self.schedules.get(graph, self.units)
+
     def forward_group(self, group: StructureGroup) -> dict[int, nn.Tensor]:
         """Cached bottom-up evaluation of a structure group (§5.1.2).
 
         Returns ``{preorder position -> (B, d+1) output tensor}``.
+        Executes through the group's :class:`CompiledSchedule` (taped and
+        differentiable; used by the trainer).
         """
-        outputs: dict[int, nn.Tensor] = {}
-        graph = group.graph
-        for pos in graph.postorder:
-            unit = self.units[graph.types[pos]]
-            features = nn.Tensor(group.features[pos])
-            children = [outputs[c] for c in graph.children[pos]]
-            outputs[pos] = unit(unit.assemble_input(features, children))
-        return outputs
+        return self.compile_schedule(group.graph).run_training(group.features)
 
     def forward_subtree_uncached(self, group: StructureGroup, pos: int) -> nn.Tensor:
         """Naive evaluation of one operator's output, recomputing the subtree."""
@@ -98,32 +102,32 @@ class QPPNet(nn.Module):
     # Inference API
     # ------------------------------------------------------------------
     def predict(self, plan: PlanNode) -> float:
-        """Predicted query latency (ms) — the root unit's latency output."""
+        """Predicted query latency (ms) — the root unit's latency output.
+
+        One-plan convenience; batch serving should go through
+        :class:`repro.serving.InferenceSession`, which amortizes one
+        vectorized forward pass over every plan sharing a structure.
+        """
         return self.predict_operators(plan)[0]
 
     def predict_operators(self, plan: PlanNode) -> list[float]:
         """Predicted latency (ms) of every operator, preorder-indexed."""
-        group = self._singleton_group(plan)
-        outputs = self.forward_group(group)
+        schedule = self.compile_schedule(plan_graph(plan))
+        features = [f.reshape(1, -1) for f in self.featurizer.transform_plan(plan)]
+        outputs = schedule.run_inference(features)
         scale = self.featurizer.latency_scale_ms
         return [
-            max(MIN_PREDICTION_MS, float(outputs[pos].data[0, 0]) * scale)
-            for pos in range(group.graph.n_nodes)
+            max(MIN_PREDICTION_MS, float(outputs[pos][0, 0]) * scale)
+            for pos in range(schedule.n_nodes)
         ]
-
-    def _singleton_group(self, plan: PlanNode) -> StructureGroup:
-        graph = plan_graph(plan)
-        features = [f.reshape(1, -1) for f in self.featurizer.transform_plan(plan)]
-        labels = np.zeros((1, graph.n_nodes))
-        return StructureGroup(graph, features, labels)
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: Union[str, "np.os.PathLike"]) -> None:
+    def save(self, path: Union[str, os.PathLike]) -> None:
         nn.save_module(self, path)
 
-    def load(self, path: Union[str, "np.os.PathLike"]) -> "QPPNet":
+    def load(self, path: Union[str, os.PathLike]) -> "QPPNet":
         nn.load_module(self, path)
         return self
 

@@ -35,6 +35,7 @@ from repro.nn import functional as F
 from repro.workload.generator import PlanSample
 
 from .batching import (
+    BufferPool,
     StructureGroup,
     VectorizedPlan,
     group_by_structure,
@@ -84,6 +85,11 @@ class Trainer:
             lr=self.config.lr,
             momentum=self.config.momentum,
         )
+        # Feature/label stacking buffers, reused batch to batch (safe:
+        # each batch's graph is consumed by backward() before the next
+        # batch is assembled).  Capped so corpora with very many distinct
+        # structures do not pin one buffer per (signature, position).
+        self._stack_pool = BufferPool(max_entries=4096)
 
     # ------------------------------------------------------------------
     # Loss assembly
@@ -120,7 +126,7 @@ class Trainer:
         """Eq. 7 over one random batch, honouring the configured mode."""
         mode = self.config.mode
         if mode in ("both", "batching"):
-            groups = group_by_structure(batch)
+            groups = group_by_structure(batch, pool=self._stack_pool)
         else:  # per-plan processing
             groups = [_singleton(plan) for plan in batch]
         sse_fn = (

@@ -59,6 +59,15 @@ class NeuralUnit(nn.Module):
             )
         return self.net(x)
 
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        """Tape-free forward over an already-assembled input matrix."""
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"{self.logical_type.value} unit expected width {self.in_features}, "
+                f"got {x.shape[-1]}"
+            )
+        return self.net.forward_numpy(x)
+
     def assemble_input(
         self, features: nn.Tensor, child_outputs: list[nn.Tensor]
     ) -> nn.Tensor:

@@ -27,7 +27,7 @@ beat the optimizer's cost estimate):
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -67,6 +67,22 @@ class Simulator:
             node.actual_rows = float(node.truth.get("true_rows", node.props.get("Plan Rows", 0.0)))
         assert root.actual_total_ms is not None
         return root.actual_total_ms
+
+    def execute_many(
+        self,
+        roots: Sequence[PlanNode],
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Simulate a stream of plans; returns latencies (ms) in order.
+
+        The batch counterpart of :meth:`execute` — the ground-truth side
+        of a serving workload (e.g. replaying a request stream against
+        :meth:`repro.serving.InferenceSession.predict_batch`).  Noise
+        draws consume ``rng`` plan by plan in sequence, so executing the
+        same plans one at a time with the same generator state yields
+        identical latencies.
+        """
+        return np.array([self.execute(root, rng=rng) for root in roots])
 
     # ------------------------------------------------------------------
     # Per-operator models

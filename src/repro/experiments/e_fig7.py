@@ -8,6 +8,11 @@
 Shape targets from the paper: QPP Net lowest on both metrics and both
 workloads; RBF second; SVM/TAM last; QPP Net's R-curve stays lowest and
 spikes latest.
+
+Test-set scoring runs through the structure-bucketed batch path
+(:func:`repro.evaluation.harness.predictions_of` dispatches QPP Net to
+:class:`repro.serving.InferenceSession`); there is no per-plan
+``model.predict`` loop anywhere in the accuracy pipeline.
 """
 
 from __future__ import annotations

@@ -18,6 +18,7 @@ from typing import Optional
 import numpy as np
 
 from repro.evaluation.harness import MODEL_ORDER, predictions_of, train_baselines, train_qppnet_model
+from repro.serving import InferenceSession
 from repro.workload.dataset import template_folds
 
 from .context import ExperimentContext, global_context, qpp_config
@@ -42,7 +43,9 @@ def run_fig8(context: Optional[ExperimentContext] = None) -> ExperimentReport:
     for fold in folds:
         models: dict[str, object] = dict(train_baselines(fold.train, seed=context.seed))
         qpp, _ = train_qppnet_model(fold.train, config)
-        models["QPP Net"] = qpp
+        # Score the fold through the batched serving path: one session
+        # per fold model, one vectorized forward per plan structure.
+        models["QPP Net"] = InferenceSession(qpp)
         actuals = np.array([s.latency_ms for s in fold.test])
         templates = [s.template_id for s in fold.test]
         for template, latency in zip(templates, actuals):

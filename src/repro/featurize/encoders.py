@@ -96,10 +96,18 @@ class OneHotEncoder:
             out[idx] = 1.0
         return out
 
+    def index_of(self, value: object) -> Optional[int]:
+        """Vocabulary index of ``value`` (None when unseen)."""
+        return self._index.get(str(value))
+
+
+def boolean_value(value: object) -> float:
+    """Scalar boolean encoding.  Accepts bools and PostgreSQL-ish strings."""
+    if isinstance(value, str):
+        return 1.0 if value.lower() in ("true", "t", "on", "forward", "yes", "1") else 0.0
+    return 1.0 if value else 0.0
+
 
 def encode_boolean(value: object) -> np.ndarray:
-    """Boolean encoding.  Accepts bools and PostgreSQL-ish strings."""
-    if isinstance(value, str):
-        truthy = value.lower() in ("true", "t", "on", "forward", "yes", "1")
-        return np.array([1.0 if truthy else 0.0])
-    return np.array([1.0 if value else 0.0])
+    """Boolean encoding as a length-1 vector (see :func:`boolean_value`)."""
+    return np.array([boolean_value(value)])

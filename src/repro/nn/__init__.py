@@ -12,7 +12,7 @@ from .layers import Lambda, Linear, Module, ReLU, Sequential, Sigmoid, Tanh, mlp
 from .loss import LOSSES, huber_loss, l1_loss, mse_loss, rmse_loss
 from .optim import SGD, Adam, Optimizer, StepLR, make_optimizer
 from .serialize import load_module, save_module
-from .tensor import Tensor, ones, tensor, zeros
+from .tensor import Tensor, inference_mode, is_inference_mode, ones, tensor, zeros
 
 __all__ = [
     "functional",
@@ -20,6 +20,8 @@ __all__ = [
     "tensor",
     "zeros",
     "ones",
+    "inference_mode",
+    "is_inference_mode",
     "Module",
     "Linear",
     "Sequential",

@@ -14,7 +14,7 @@ import numpy as np
 
 from . import functional as F
 from .init import INITIALIZERS
-from .tensor import Tensor
+from .tensor import Tensor, inference_mode
 
 
 class Module:
@@ -25,6 +25,18 @@ class Module:
 
     def __call__(self, x: Tensor) -> Tensor:
         return self.forward(x)
+
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        """Tape-free forward over a raw array (serving hot path).
+
+        Subclasses on the inference hot path override this with pure
+        numpy arithmetic that is bit-identical to :meth:`forward`; the
+        fallback routes through :meth:`forward` under
+        :func:`~repro.nn.tensor.inference_mode`, which is slower but
+        always consistent.
+        """
+        with inference_mode():
+            return self.forward(Tensor(x)).data
 
     # ------------------------------------------------------------------
     # Parameter traversal
@@ -105,6 +117,16 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected input of width {self.in_features}, got {x.shape[-1]}"
+            )
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
     def __repr__(self) -> str:
         return f"Linear({self.in_features} -> {self.out_features})"
 
@@ -112,6 +134,9 @@ class Linear(Module):
 class ReLU(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.relu(x)
+
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        return x * (x > 0)
 
     def __repr__(self) -> str:
         return "ReLU()"
@@ -121,10 +146,16 @@ class Sigmoid(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.sigmoid(x)
 
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x))
+
 
 class Tanh(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.tanh(x)
+
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
 
 
 class Lambda(Module):
@@ -150,6 +181,11 @@ class Sequential(Module):
     def forward(self, x: Tensor) -> Tensor:
         for module in self.modules:
             x = module(x)
+        return x
+
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        for module in self.modules:
+            x = module.forward_numpy(x)
         return x
 
     def append(self, module: Module) -> None:

@@ -15,6 +15,7 @@ every forward pass.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -25,6 +26,44 @@ ArrayLike = Union[np.ndarray, float, int, Sequence[float]]
 def _as_array(value: ArrayLike) -> np.ndarray:
     arr = np.asarray(value, dtype=np.float64)
     return arr
+
+
+#: Per-thread inference flag.  While set, :meth:`Tensor._make` returns
+#: plain tensors — no parents, no backward closure retained, no tape — so
+#: hot-path forward evaluation pays only for the numpy arithmetic.
+#: Thread-local so a serving thread's flag can never strand or leak into
+#: a training thread's tape.
+_INFERENCE_STATE = threading.local()
+
+
+class _InferenceModeContext:
+    """Re-entrant context manager toggling this thread's inference flag."""
+
+    __slots__ = ("_previous",)
+
+    def __enter__(self) -> "_InferenceModeContext":
+        self._previous = getattr(_INFERENCE_STATE, "active", False)
+        _INFERENCE_STATE.active = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _INFERENCE_STATE.active = self._previous
+
+
+def inference_mode() -> _InferenceModeContext:
+    """Disable autodiff taping inside a ``with`` block (this thread only).
+
+    Forward results computed under this context carry no graph: they do
+    not require grad, hold no parent references, and drop their backward
+    closures immediately.  Analogue of ``torch.inference_mode()`` for the
+    serving hot path; see :mod:`repro.serving`.
+    """
+    return _InferenceModeContext()
+
+
+def is_inference_mode() -> bool:
+    """Whether tape recording is disabled on the current thread."""
+    return getattr(_INFERENCE_STATE, "active", False)
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -112,6 +151,8 @@ class Tensor:
         parents: tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
+        if getattr(_INFERENCE_STATE, "active", False):
+            return Tensor(data)
         requires = any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:

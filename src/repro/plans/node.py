@@ -17,7 +17,18 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator, Optional
 
-from .operators import LogicalType, PhysicalOp, arity_of, logical_type_of
+from .operators import (
+    PHYSICAL_TO_LOGICAL,
+    LogicalType,
+    PhysicalOp,
+    arity_of,
+    logical_type_of,
+)
+
+#: Physical op -> logical type *name*, pre-resolved for the signature walk.
+_LOGICAL_NAME_OF_OP: dict[PhysicalOp, str] = {
+    op: ltype.value for op, ltype in PHYSICAL_TO_LOGICAL.items()
+}
 
 
 class PlanNode:
@@ -93,21 +104,28 @@ class PlanNode:
 
         Two plans with equal signatures have node-for-node aligned unit
         types, so their per-node feature matrices can be stacked and run
-        through the units as batches.
+        through the units as batches.  This runs per request on the
+        serving hot path (bucket key), hence the local lookup table and
+        iterative walk.
         """
+        type_names = _LOGICAL_NAME_OF_OP
         parts: list[str] = []
-
-        def visit(node: PlanNode) -> None:
-            parts.append(node.logical_type.value)
-            if node.children:
-                parts.append("(")
-                for i, child in enumerate(node.children):
+        append = parts.append
+        # Iterative preorder with explicit close-paren/comma markers.
+        stack: list[object] = [self]
+        while stack:
+            item = stack.pop()
+            if item.__class__ is str:
+                append(item)
+                continue
+            append(type_names[item.op])
+            if item.children:
+                append("(")
+                stack.append(")")
+                for i in range(len(item.children) - 1, -1, -1):
+                    stack.append(item.children[i])
                     if i:
-                        parts.append(",")
-                    visit(child)
-                parts.append(")")
-
-        visit(self)
+                        stack.append(",")
         return "".join(parts)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,35 @@
+"""Batched model serving: the compile / cache / bucket / scatter pipeline.
+
+This package is the inference-side counterpart of the paper's §5.1 batch
+training: it exploits shared plan structure at *serving* time, so a
+heavy stream of prediction requests costs one vectorized forward pass
+per distinct plan shape instead of one tree walk per plan.
+
+The flow inside :meth:`InferenceSession.predict_batch`:
+
+1. **featurize** — every incoming plan is mapped to its per-operator
+   feature vectors (Appendix B) and its structure signature;
+2. **compile / cache** — each distinct signature resolves to a
+   :class:`~repro.core.compile.CompiledSchedule` through the model's LRU
+   :class:`~repro.core.compile.ScheduleCache`; repeated structures (the
+   common case in template workloads) never re-derive the postorder
+   schedule, unit bindings or input-slice layout;
+3. **bucket** — requests are grouped by signature and their feature
+   vectors stacked into per-position matrices (reused buffers, no
+   per-call ``vstack`` garbage);
+4. **vectorized forward** — one tape-free pass per bucket through the
+   schedule, under :func:`repro.nn.inference_mode`;
+5. **scatter** — root-latency predictions are written back into request
+   order, scaled to milliseconds and floored at
+   :data:`~repro.core.model.MIN_PREDICTION_MS`, so the result is
+   elementwise identical to calling ``model.predict`` per plan.
+
+:class:`ModelRegistry` manages multiple named models (in-memory or
+loaded from :func:`~repro.core.bundle.save_bundle` directories) and
+hands out one long-lived session per model.
+"""
+
+from .registry import ModelRegistry
+from .session import InferenceSession
+
+__all__ = ["InferenceSession", "ModelRegistry"]

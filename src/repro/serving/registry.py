@@ -1,0 +1,77 @@
+"""Named-model registry: load, hold and serve multiple QPPNet bundles.
+
+A deployment rarely serves one model: per-workload models (TPC-H vs
+TPC-DS), shadow candidates, per-hardware variants.  The registry maps
+names to models — registered in-memory or loaded from
+:func:`~repro.core.bundle.save_bundle` directories — and hands out one
+long-lived :class:`~repro.serving.session.InferenceSession` per model so
+every caller shares the warmed schedule cache and stacking buffers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Union
+
+from repro.core.bundle import load_bundle
+from repro.core.model import QPPNet
+
+from .session import InferenceSession
+
+PathLike = Union[str, os.PathLike]
+
+
+class ModelRegistry:
+    """Name -> (model, session) map with bundle loading."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, QPPNet] = {}
+        self._sessions: dict[str, InferenceSession] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, model: QPPNet) -> InferenceSession:
+        """Add (or replace) a model under ``name``; returns its session."""
+        self._models[name] = model
+        self._sessions[name] = InferenceSession(model)
+        return self._sessions[name]
+
+    def load(self, name: str, directory: PathLike) -> InferenceSession:
+        """Load a :func:`save_bundle` directory and register it."""
+        return self.register(name, load_bundle(directory))
+
+    def unregister(self, name: str) -> None:
+        self._require(name)
+        del self._models[name]
+        del self._sessions[name]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def model(self, name: str) -> QPPNet:
+        self._require(name)
+        return self._models[name]
+
+    def session(self, name: str) -> InferenceSession:
+        """The shared long-lived session for ``name``."""
+        self._require(name)
+        return self._sessions[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def _require(self, name: str) -> None:
+        if name not in self._models:
+            raise KeyError(
+                f"no model named {name!r} is registered (have: {self.names()})"
+            )

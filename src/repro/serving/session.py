@@ -1,0 +1,140 @@
+"""Structure-bucketed batch inference over a trained :class:`QPPNet`.
+
+See the package docstring of :mod:`repro.serving` for the pipeline
+overview.  A session is cheap to construct but meant to be long-lived:
+its stacking buffers and the model's schedule cache reach a steady state
+after the first few batches of a template workload, after which a
+``predict_batch`` call allocates almost nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.core.batching import BufferPool, PlanGraph, plan_graph
+from repro.core.model import MIN_PREDICTION_MS, QPPNet
+from repro.plans.node import PlanNode
+
+
+@dataclass
+class _Bucket:
+    """Requests sharing one structure signature within a batch."""
+
+    graph: PlanGraph
+    indices: list[int]  # positions in the incoming request order
+    nodes: list[list[PlanNode]]  # per request: plan nodes in preorder
+
+
+class InferenceSession:
+    """Vectorized ``predict_batch`` front-end for one model.
+
+    Not thread-safe: a session owns mutable stacking buffers (and the
+    model's compiled schedules own assembly buffers); use one session per
+    serving thread.
+    """
+
+    #: LRU bound on retained stacking buffers: ad-hoc workloads with
+    #: unbounded distinct plan structures must not grow the session's
+    #: memory without limit (mirrors the model's ScheduleCache cap).
+    MAX_POOLED_BUFFERS = 1024
+
+    def __init__(self, model: QPPNet) -> None:
+        self.model = model
+        self.featurizer = model.featurizer
+        self._pool = BufferPool(max_entries=self.MAX_POOLED_BUFFERS)
+        self._widths = model.featurizer.feature_sizes()
+        #: Requests served since construction (monitoring hook).
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def predict(self, plan: PlanNode) -> float:
+        """Single-plan convenience; equivalent to ``model.predict``."""
+        return float(self.predict_batch([plan])[0])
+
+    def predict_batch(self, plans: Sequence[PlanNode]) -> np.ndarray:
+        """Predicted query latency (ms) per plan, in request order."""
+        out = np.empty(len(plans))
+        for bucket, outputs in self._run_buckets(plans):
+            scale = self.featurizer.latency_scale_ms
+            roots = np.maximum(MIN_PREDICTION_MS, outputs[0][:, 0] * scale)
+            out[bucket.indices] = roots
+        self.requests_served += len(plans)
+        return out
+
+    def predict_operators_batch(self, plans: Sequence[PlanNode]) -> list[list[float]]:
+        """Per-operator latencies (ms, preorder) per plan, request order."""
+        results: list[list[float]] = [[] for _ in plans]
+        for bucket, outputs in self._run_buckets(plans):
+            scale = self.featurizer.latency_scale_ms
+            n_nodes = bucket.graph.n_nodes
+            per_node = [
+                np.maximum(MIN_PREDICTION_MS, outputs[pos][:, 0] * scale)
+                for pos in range(n_nodes)
+            ]
+            for row, index in enumerate(bucket.indices):
+                results[index] = [float(per_node[pos][row]) for pos in range(n_nodes)]
+        self.requests_served += len(plans)
+        return results
+
+    def predict_operators(self, plan: PlanNode) -> list[float]:
+        """Single-plan per-operator predictions (see ``predict_batch``)."""
+        return self.predict_operators_batch([plan])[0]
+
+    # ------------------------------------------------------------------
+    # Bucketed execution
+    # ------------------------------------------------------------------
+    def _run_buckets(self, plans: Sequence[PlanNode]):
+        """Yield ``(bucket, {position -> (B, d+1) outputs})`` per signature."""
+        buckets: dict[str, _Bucket] = {}
+        for index, plan in enumerate(plans):
+            signature = plan.structure_signature()
+            bucket = buckets.get(signature)
+            if bucket is None:
+                # The full graph (and its compiled schedule) is derived
+                # from the bucket's first plan only; structure-equal
+                # plans reuse it.
+                bucket = buckets[signature] = _Bucket(plan_graph(plan), [], [])
+            bucket.indices.append(index)
+            bucket.nodes.append(list(plan.preorder()))
+        for signature, bucket in buckets.items():
+            schedule = self.model.compile_schedule(bucket.graph)
+            stacked = self._featurize_bucket(signature, bucket)
+            # The tape flag is scoped around the forward only (never held
+            # across a yield): run_inference is numpy throughout, but any
+            # custom module falling back to taped forward stays tape-free.
+            with nn.inference_mode():
+                outputs = schedule.run_inference(stacked)
+            yield bucket, outputs
+
+    def _featurize_bucket(self, signature: str, bucket: _Bucket) -> list[np.ndarray]:
+        """Column-vectorized ``F(op)`` matrices per position of a bucket.
+
+        All positions sharing a logical type are featurized in one
+        ``transform_aligned`` call (their schema and vector width are
+        identical), position-major; each position's ``(B, f_type)``
+        matrix is then a contiguous row-slice view of the combined
+        buffer.
+        """
+        graph = bucket.graph
+        n_plans = len(bucket.indices)
+        positions_by_type: dict = {}
+        for pos, ltype in enumerate(graph.types):
+            positions_by_type.setdefault(ltype, []).append(pos)
+        stacked: list[np.ndarray] = [np.empty(0)] * graph.n_nodes
+        for ltype, positions in positions_by_type.items():
+            out = self._pool.take(
+                (signature, ltype), (n_plans * len(positions), self._widths[ltype])
+            )
+            nodes = [
+                plan_nodes[pos] for pos in positions for plan_nodes in bucket.nodes
+            ]
+            self.featurizer.transform_aligned(nodes, out=out)
+            for k, pos in enumerate(positions):
+                stacked[pos] = out[k * n_plans : (k + 1) * n_plans]
+        return stacked

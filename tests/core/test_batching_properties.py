@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import group_by_structure, plan_graph, sample_batches, vectorize_corpus
+from repro.core import (
+    BufferPool,
+    group_by_structure,
+    plan_graph,
+    sample_batches,
+    vectorize_corpus,
+)
 from repro.featurize import Featurizer
 from repro.workload import Workbench
 
@@ -43,6 +49,24 @@ class TestGrouping:
         a = [g.graph.signature for g in group_by_structure(vectorized)]
         b = [g.graph.signature for g in group_by_structure(vectorized)]
         assert a == b
+
+    def test_pooled_grouping_matches_vstack(self, vectorized):
+        """Buffer-reuse stacking is value-identical to fresh np.vstack."""
+        pool = BufferPool()
+        fresh = group_by_structure(vectorized)
+        pooled = group_by_structure(vectorized, pool=pool)
+        for a, b in zip(fresh, pooled):
+            assert a.graph.signature == b.graph.signature
+            assert np.array_equal(a.labels, b.labels)
+            for pos in range(a.graph.n_nodes):
+                assert np.array_equal(a.features[pos], b.features[pos])
+        # Second pooled call reuses the same backing buffers.
+        again = group_by_structure(vectorized, pool=pool)
+        for b, c in zip(pooled, again):
+            for pos in range(b.graph.n_nodes):
+                assert c.features[pos].base is b.features[pos].base or (
+                    c.features[pos] is b.features[pos]
+                )
 
 
 class TestSampleBatches:

@@ -41,6 +41,20 @@ class TestHardwareProfile:
             assert 0.1 < p.device_factor(f"r{i}") < 10.0
 
 
+class TestExecuteMany:
+    def test_matches_sequential_execute(self, planner):
+        plans_a = [planner.plan(lineitem_scan(0.1 * (i + 1))) for i in range(5)]
+        plans_b = [p.clone() for p in plans_a]
+        batch = Simulator().execute_many(plans_a, np.random.default_rng(9))
+        rng = np.random.default_rng(9)
+        sequential = [Simulator().execute(p, rng) for p in plans_b]
+        assert batch.shape == (5,)
+        assert np.array_equal(batch, np.array(sequential))
+
+    def test_empty_stream(self):
+        assert Simulator().execute_many([]).shape == (0,)
+
+
 class TestSimulatorBasics:
     def test_actuals_annotated_everywhere(self, planner):
         plan = planner.plan(lineitem_scan())

@@ -1,0 +1,93 @@
+"""nn.inference_mode(): tape-free forward on the serving hot path."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+
+
+class TestInferenceMode:
+    def test_no_tape_recorded(self):
+        w = nn.Tensor(np.ones((3, 2)), requires_grad=True)
+        x = nn.Tensor(np.ones((1, 3)))
+        with nn.inference_mode():
+            out = x @ w
+        assert not out.requires_grad
+        assert out._parents == ()
+        assert out._backward is None
+
+    def test_values_match_taped_forward(self):
+        rng = np.random.default_rng(0)
+        layer = nn.Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        taped = layer(nn.Tensor(x)).data
+        with nn.inference_mode():
+            untaped = layer(nn.Tensor(x)).data
+        assert np.array_equal(taped, untaped)
+        assert np.array_equal(layer.forward_numpy(x), taped)
+
+    def test_flag_restored_and_reentrant(self):
+        assert not nn.is_inference_mode()
+        with nn.inference_mode():
+            assert nn.is_inference_mode()
+            with nn.inference_mode():
+                assert nn.is_inference_mode()
+            assert nn.is_inference_mode()
+        assert not nn.is_inference_mode()
+
+    def test_flag_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with nn.inference_mode():
+                raise RuntimeError("boom")
+        assert not nn.is_inference_mode()
+
+    def test_flag_is_thread_local(self):
+        import threading
+
+        seen_in_thread = []
+
+        def other_thread():
+            seen_in_thread.append(nn.is_inference_mode())
+
+        with nn.inference_mode():
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        assert seen_in_thread == [False]  # serving flag never leaks across threads
+
+    def test_gradients_flow_after_exit(self):
+        w = nn.Tensor(np.ones((2, 1)), requires_grad=True)
+        x = nn.Tensor(np.ones((1, 2)))
+        with nn.inference_mode():
+            (x @ w).sum()
+        loss = (x @ w).sum()
+        loss.backward()
+        assert w.grad is not None
+        assert np.array_equal(w.grad, np.ones((2, 1)))
+
+
+class TestForwardNumpy:
+    def test_mlp_forward_numpy_matches_taped(self):
+        rng = np.random.default_rng(1)
+        net = nn.mlp(6, [8, 8], 3, rng=rng)
+        x = rng.normal(size=(7, 6))
+        assert np.array_equal(net.forward_numpy(x), net(nn.Tensor(x)).data)
+
+    def test_activations_match(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(4, 5))
+        for module, fn in ((nn.ReLU(), F.relu), (nn.Sigmoid(), F.sigmoid), (nn.Tanh(), F.tanh)):
+            assert np.array_equal(module.forward_numpy(x), fn(nn.Tensor(x)).data)
+
+    def test_fallback_uses_inference_mode(self):
+        flag_seen = []
+
+        class Probe(nn.Module):
+            def forward(self, x):
+                flag_seen.append(nn.is_inference_mode())
+                return x * 2.0
+
+        out = Probe().forward_numpy(np.ones((2, 2)))
+        assert flag_seen == [True]
+        assert np.array_equal(out, 2.0 * np.ones((2, 2)))

@@ -1,0 +1,142 @@
+"""Serving-layer properties: batch/per-plan agreement, cache identity,
+registry behaviour (ISSUE: compile-once + structure-bucketed serving)."""
+
+import numpy as np
+import pytest
+
+from repro.core import QPPNet, QPPNetConfig, plan_graph, save_bundle
+from repro.featurize import Featurizer
+from repro.serving import InferenceSession, ModelRegistry
+from repro.workload import Workbench
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    wb = Workbench("tpch", scale_factor=0.2, seed=0)
+    return wb.generate(64, rng=np.random.default_rng(3))
+
+
+@pytest.fixture(scope="module")
+def model(corpus):
+    featurizer = Featurizer().fit([s.plan for s in corpus])
+    return QPPNet(featurizer, QPPNetConfig(hidden_layers=2, neurons=16, data_size=4))
+
+
+@pytest.fixture()
+def session(model):
+    return InferenceSession(model)
+
+
+class TestBatchAgreement:
+    def test_predict_batch_matches_per_plan(self, session, model, corpus):
+        """Batched serving is numerically identical (<=1e-9) to the
+        per-plan predict loop on a mixed-template corpus."""
+        plans = [s.plan for s in corpus]
+        batched = session.predict_batch(plans)
+        per_plan = np.array([model.predict(p) for p in plans])
+        assert batched.shape == (len(plans),)
+        assert np.max(np.abs(batched - per_plan)) <= 1e-9
+
+    def test_scatter_preserves_request_order(self, session, model, corpus):
+        """Shuffled requests come back in request order, not bucket order."""
+        rng = np.random.default_rng(11)
+        order = rng.permutation(len(corpus))
+        plans = [corpus[i].plan for i in order]
+        batched = session.predict_batch(plans)
+        for plan, value in zip(plans, batched):
+            assert value == pytest.approx(model.predict(plan), abs=1e-9)
+
+    def test_predict_operators_batch_matches_per_plan(self, session, model, corpus):
+        plans = [s.plan for s in corpus[:16]]
+        batched = session.predict_operators_batch(plans)
+        for plan, ops in zip(plans, batched):
+            reference = model.predict_operators(plan)
+            assert len(ops) == plan.node_count()
+            assert ops == pytest.approx(reference, abs=1e-9)
+
+    def test_singleton_batch_and_empty(self, session, model, corpus):
+        plan = corpus[0].plan
+        assert session.predict(plan) == pytest.approx(model.predict(plan), abs=1e-9)
+        assert session.predict_batch([]).shape == (0,)
+
+    def test_repeated_calls_are_stable(self, session, corpus):
+        """Buffer reuse must not leak state across predict_batch calls."""
+        plans = [s.plan for s in corpus]
+        first = session.predict_batch(plans)
+        again = session.predict_batch(list(reversed(plans)))[::-1]
+        assert np.array_equal(first, again)
+
+
+class TestScheduleCache:
+    def test_same_structure_returns_same_schedule_object(self, model, corpus):
+        by_signature = {}
+        for sample in corpus:
+            by_signature.setdefault(sample.plan.structure_signature(), []).append(
+                sample.plan
+            )
+        signature, twins = max(by_signature.items(), key=lambda kv: len(kv[1]))
+        assert len(twins) >= 2, "corpus should repeat structures"
+        first = model.compile_schedule(plan_graph(twins[0]))
+        second = model.compile_schedule(plan_graph(twins[1]))
+        assert first is second
+        assert first.signature == signature
+
+    def test_cache_hit_statistics(self, model, corpus):
+        model.schedules.clear()
+        session = InferenceSession(model)
+        plans = [s.plan for s in corpus]
+        session.predict_batch(plans)
+        n_structures = len({p.structure_signature() for p in plans})
+        assert model.schedules.misses == n_structures
+        session.predict_batch(plans)
+        assert model.schedules.misses == n_structures  # all warm now
+
+    def test_lru_eviction(self, model, corpus):
+        from repro.core import ScheduleCache
+
+        cache = ScheduleCache(maxsize=2)
+        graphs = []
+        for sample in corpus:
+            graph = plan_graph(sample.plan)
+            if graph.signature not in {g.signature for g in graphs}:
+                graphs.append(graph)
+            if len(graphs) == 3:
+                break
+        assert len(graphs) == 3
+        a = cache.get(graphs[0], model.units)
+        cache.get(graphs[1], model.units)
+        cache.get(graphs[2], model.units)  # evicts graphs[0]
+        assert len(cache) == 2
+        assert cache.get(graphs[0], model.units) is not a  # recompiled
+
+
+class TestModelRegistry:
+    def test_register_and_session_identity(self, model):
+        registry = ModelRegistry()
+        registry.register("tpch", model)
+        assert "tpch" in registry
+        assert registry.model("tpch") is model
+        assert registry.session("tpch") is registry.session("tpch")
+
+    def test_load_bundle_roundtrip(self, model, corpus, tmp_path):
+        save_bundle(model, tmp_path / "bundle")
+        registry = ModelRegistry()
+        session = registry.load("tpch-restored", tmp_path / "bundle")
+        plans = [s.plan for s in corpus[:8]]
+        restored = session.predict_batch(plans)
+        original = np.array([model.predict(p) for p in plans])
+        assert restored == pytest.approx(original, abs=1e-9)
+
+    def test_unknown_name_raises(self):
+        registry = ModelRegistry()
+        with pytest.raises(KeyError):
+            registry.session("nope")
+        with pytest.raises(KeyError):
+            registry.unregister("nope")
+
+    def test_unregister(self, model):
+        registry = ModelRegistry()
+        registry.register("m", model)
+        registry.unregister("m")
+        assert "m" not in registry
+        assert len(registry) == 0
