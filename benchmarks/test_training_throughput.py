@@ -1,0 +1,94 @@
+"""BENCH: training throughput — taped autodiff vs the compiled engine.
+
+Trains the same model (mode ``both``, the paper's configuration) on a
+512-plan mixed-template TPC-H corpus under both execution engines and
+measures epochs/sec.  The ISSUE-2 acceptance bar: the compiled engine
+(schedule-level fused backward + vectorized loss + epoch-pregrouped
+batching + fused flat optimizer) at >= 3x the taped reference.
+
+Writes the measurement to ``BENCH_training.json`` (override the path via
+the ``BENCH_TRAINING_JSON`` env var) so CI can archive the perf
+trajectory PR over PR.
+
+Run:  python -m pytest benchmarks/test_training_throughput.py -s
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import QPPNet, QPPNetConfig, Trainer, vectorize_corpus
+from repro.featurize import Featurizer
+from repro.workload import Workbench
+
+N_PLANS = 512
+REQUIRED_SPEEDUP = 3.0
+TIMED_EPOCHS = 3
+
+
+@pytest.fixture(scope="module")
+def workload():
+    wb = Workbench("tpch", scale_factor=0.2, seed=0)
+    corpus = wb.generate(N_PLANS, rng=np.random.default_rng(1))
+    featurizer = Featurizer().fit([s.plan for s in corpus])
+    vectorized = vectorize_corpus(corpus, featurizer)
+    return featurizer, vectorized
+
+
+def _epoch_time(featurizer, vectorized, engine):
+    config = QPPNetConfig(mode="both", engine=engine, seed=0)
+    model = QPPNet(featurizer, config)
+    trainer = Trainer(model, config)
+    # Warm one epoch: schedule compilation, buffer growth, pre-grouping
+    # and flat-space construction are one-time costs.
+    trainer.fit_vectorized(vectorized, epochs=1)
+    best = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        history = trainer.fit_vectorized(vectorized, epochs=TIMED_EPOCHS)
+        best = min(best, (time.perf_counter() - start) / TIMED_EPOCHS)
+    return best, history.final_loss
+
+
+def test_compiled_training_throughput(workload):
+    featurizer, vectorized = workload
+
+    taped_s, taped_loss = _epoch_time(featurizer, vectorized, "taped")
+    compiled_s, compiled_loss = _epoch_time(featurizer, vectorized, "compiled")
+    speedup = taped_s / compiled_s
+    n_structures = len({p.graph.signature for p in vectorized})
+
+    result = {
+        "benchmark": "training_throughput",
+        "n_plans": N_PLANS,
+        "n_structures": n_structures,
+        "taped_epoch_s": round(taped_s, 4),
+        "compiled_epoch_s": round(compiled_s, 4),
+        "taped_plans_per_s": round(N_PLANS / taped_s, 1),
+        "compiled_plans_per_s": round(N_PLANS / compiled_s, 1),
+        "speedup": round(speedup, 2),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "taped_final_loss": taped_loss,
+        "compiled_final_loss": compiled_loss,
+    }
+    out_path = Path(os.environ.get("BENCH_TRAINING_JSON", "BENCH_training.json"))
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+
+    print(
+        f"\n[training-throughput] {N_PLANS} plans, {n_structures} structures, "
+        f"mode=both\n"
+        f"  taped engine    : {taped_s:.3f}s/epoch  ({N_PLANS / taped_s:8.0f} plans/s)\n"
+        f"  compiled engine : {compiled_s:.3f}s/epoch  ({N_PLANS / compiled_s:8.0f} plans/s)\n"
+        f"  speedup         : {speedup:.1f}x   (required >= {REQUIRED_SPEEDUP:.0f}x)\n"
+        f"  -> {out_path}"
+    )
+
+    # Same objective, same batches, same init: the engines must agree on
+    # what they are optimizing, not just be fast.
+    assert np.isfinite(compiled_loss)
+    assert compiled_loss == pytest.approx(taped_loss, rel=1e-5)
+    assert speedup >= REQUIRED_SPEEDUP

@@ -4,6 +4,7 @@ from .bundle import load_bundle, save_bundle
 from .batching import (
     BufferPool,
     PlanGraph,
+    PreGroupedCorpus,
     StructureGroup,
     VectorizedPlan,
     group_by_structure,
@@ -13,7 +14,7 @@ from .batching import (
     vectorize_plan,
 )
 from .compile import CompiledSchedule, ScheduleCache, ScheduleStep
-from .config import TRAINING_MODES, QPPNetConfig
+from .config import TRAINING_ENGINES, TRAINING_MODES, QPPNetConfig
 from .model import MIN_PREDICTION_MS, QPPNet
 from .trainer import Trainer, TrainingHistory, train_qppnet
 from .unit import NeuralUnit
@@ -21,6 +22,7 @@ from .unit import NeuralUnit
 __all__ = [
     "QPPNetConfig",
     "TRAINING_MODES",
+    "TRAINING_ENGINES",
     "NeuralUnit",
     "QPPNet",
     "MIN_PREDICTION_MS",
@@ -38,6 +40,7 @@ __all__ = [
     "group_by_structure",
     "sample_batches",
     "BufferPool",
+    "PreGroupedCorpus",
     "CompiledSchedule",
     "ScheduleCache",
     "ScheduleStep",

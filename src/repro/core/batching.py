@@ -187,6 +187,101 @@ def group_by_structure(
     return groups
 
 
+def _gather_rows(
+    src: np.ndarray, rows: np.ndarray, pool: Optional[BufferPool], key: object
+) -> np.ndarray:
+    """Row-gather ``src[rows]`` into a pooled buffer (one fancy-index op)."""
+    if pool is None:
+        return src[rows]
+    out = pool.take(key, (len(rows), src.shape[1]))
+    np.take(src, rows, axis=0, out=out)
+    return out
+
+
+class PreGroupedCorpus:
+    """Epoch-level pre-grouping of a fixed training corpus.
+
+    ``group_by_structure`` re-buckets the batch and re-stacks Python lists
+    of per-plan rows on *every* batch, even though group membership never
+    changes across a training run.  This grouping is done once here: the
+    corpus is partitioned by structure signature up front and each group's
+    feature/label matrices are pre-stacked at full corpus size.  A random
+    batch is then materialized by **row-gather** — one fancy-index numpy
+    op per ``(group, position)`` into pooled buffers — instead of
+    hundreds of per-row copies.
+
+    Sampling stays unbiased exactly as §5.1.1 requires: batches are
+    uniform random subsets of the whole corpus (a fresh permutation per
+    epoch), and grouping happens *within* each batch.  Only the mechanics
+    of building the per-batch :class:`StructureGroup`\\ s changed.
+    """
+
+    def __init__(self, plans: Sequence[VectorizedPlan]) -> None:
+        if not plans:
+            raise ValueError("PreGroupedCorpus requires at least one plan")
+        buckets: dict[str, list[int]] = {}
+        for i, plan in enumerate(plans):
+            buckets.setdefault(plan.graph.signature, []).append(i)
+        self.n_plans = len(plans)
+        self.groups: list[StructureGroup] = []
+        # Global plan index -> (group id, row inside the group's matrices).
+        self._group_of = np.empty(self.n_plans, dtype=np.intp)
+        self._row_of = np.empty(self.n_plans, dtype=np.intp)
+        for gid, signature in enumerate(sorted(buckets)):
+            members = buckets[signature]
+            graph = plans[members[0]].graph
+            features = [
+                np.stack([plans[i].features[p] for i in members])
+                for p in range(graph.n_nodes)
+            ]
+            labels = np.stack([plans[i].labels for i in members])
+            for row, i in enumerate(members):
+                self._group_of[i] = gid
+                self._row_of[i] = row
+            self.groups.append(StructureGroup(graph, features, labels))
+
+    @property
+    def n_structures(self) -> int:
+        return len(self.groups)
+
+    def gather(
+        self, indices: np.ndarray, pool: Optional[BufferPool] = None
+    ) -> list[StructureGroup]:
+        """The batch of global plan ``indices`` as per-structure groups.
+
+        Equivalent to ``group_by_structure([plans[i] for i in indices])``
+        (same group order, same row order within each group), built by
+        row-gather from the pre-stacked matrices.
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        gsel = self._group_of[indices]
+        out = []
+        for gid in np.unique(gsel):
+            rows = self._row_of[indices[gsel == gid]]
+            src = self.groups[gid]
+            signature = src.graph.signature
+            features = [
+                _gather_rows(src.features[p], rows, pool, (signature, p))
+                for p in range(src.graph.n_nodes)
+            ]
+            labels = _gather_rows(src.labels, rows, pool, (signature, "labels"))
+            out.append(StructureGroup(src.graph, features, labels))
+        return out
+
+    def iter_batches(
+        self,
+        batch_size: int,
+        rng: np.random.Generator,
+        pool: Optional[BufferPool] = None,
+    ):
+        """Random batches covering the corpus once (cf. :func:`sample_batches`)."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        order = rng.permutation(self.n_plans)
+        for start in range(0, self.n_plans, batch_size):
+            yield self.gather(order[start : start + batch_size], pool=pool)
+
+
 def sample_batches(
     plans: Sequence[VectorizedPlan],
     batch_size: int,

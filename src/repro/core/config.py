@@ -15,6 +15,13 @@ from dataclasses import dataclass, replace
 #: Training-optimization modes (§5.1, ablated in Figure 9a).
 TRAINING_MODES = ("naive", "batching", "info_sharing", "both")
 
+#: Training execution engines.  "compiled" runs mode ``both`` through the
+#: tape-free CompiledSchedule forward/backward (closed-form gradients,
+#: fused loss and optimizer); "taped" forces the reference autodiff path.
+#: The ablation modes always run taped (their redundant computation is the
+#: thing being measured).
+TRAINING_ENGINES = ("compiled", "taped")
+
 
 @dataclass(frozen=True)
 class QPPNetConfig:
@@ -31,6 +38,7 @@ class QPPNetConfig:
     epochs: int = 120
     batch_size: int = 256
     mode: str = "both"  # training optimization mode (§5.1)
+    engine: str = "compiled"  # training execution engine (mode 'both' only)
     grad_clip: float = 100.0
     lr_decay_every: int = 0  # epochs between LR decays (0 disables)
     lr_decay_gamma: float = 0.5
@@ -45,6 +53,8 @@ class QPPNetConfig:
             raise ValueError("data_size must be >= 0")
         if self.mode not in TRAINING_MODES:
             raise ValueError(f"mode must be one of {TRAINING_MODES}")
+        if self.engine not in TRAINING_ENGINES:
+            raise ValueError(f"engine must be one of {TRAINING_ENGINES}")
         if self.loss not in ("mse", "rmse"):
             raise ValueError("loss must be 'mse' or 'rmse'")
         if self.epochs <= 0 or self.batch_size <= 0:

@@ -20,6 +20,36 @@ optimization modes ablated in Figure 9a:
 All modes optimize the same objective; they differ only in how much
 redundant computation the loss evaluation performs, which is exactly
 what Figure 9a measures.
+
+Training engines
+----------------
+Two execution engines implement the objective (``QPPNetConfig.engine``):
+
+``taped`` (reference)
+    every forward arithmetic op records a backward closure on the
+    :mod:`repro.nn.tensor` tape and ``loss.backward()`` replays it.  The
+    three ablation modes — ``naive``, ``batching``, ``info_sharing`` —
+    *always* run taped, because their deliberately redundant computation
+    is the quantity Figure 9a measures.
+``compiled`` (default, mode ``both`` only)
+    the production path: forward and backward both execute through the
+    :class:`~repro.core.compile.CompiledSchedule` over raw numpy arrays
+    with closed-form per-unit gradients (no tape, no per-op closures).
+    The per-group loss is fused — all per-operator latency outputs are
+    stacked once and the Eq. 7 sum of squared errors is one subtraction
+    plus one reduction, instead of ``n_nodes`` taped terms chained with
+    ``total + term``.  Batches come from an epoch-level
+    :class:`~repro.core.batching.PreGroupedCorpus` (grouped once,
+    row-gathered per batch), gradients accumulate in place into a
+    :class:`~repro.nn.FlatParameterSpace`, and global-norm clipping plus
+    the optimizer update run fused over the flat buffers.
+
+Both engines compute the same gradients (pinned to <= 1e-9 agreement by
+``tests/core/test_compiled_training.py``); ``benchmarks/
+test_training_throughput.py`` tracks the epoch-throughput speedup.  One
+semantic nuance: the fused optimizer treats parameters of units unused
+in a batch as zero-gradient (momentum keeps coasting), where the taped
+loop skips them — identical whenever every unit appears in every batch.
 """
 
 from __future__ import annotations
@@ -36,12 +66,14 @@ from repro.workload.generator import PlanSample
 
 from .batching import (
     BufferPool,
+    PreGroupedCorpus,
     StructureGroup,
     VectorizedPlan,
     group_by_structure,
     sample_batches,
     vectorize_corpus,
 )
+from .compile import CompiledSchedule
 from .config import QPPNetConfig
 from .model import QPPNet
 
@@ -73,6 +105,16 @@ def _singleton(plan: VectorizedPlan) -> StructureGroup:
     )
 
 
+@dataclass
+class _GroupForward:
+    """One structure group's compiled forward, held until backward."""
+
+    schedule: CompiledSchedule
+    tape: object  # opaque activation record for CompiledSchedule.backward
+    diff: np.ndarray  # (B, n_nodes) prediction - label
+    sse: float
+
+
 class Trainer:
     """Gradient-descent training of a :class:`QPPNet`."""
 
@@ -90,6 +132,19 @@ class Trainer:
         # batch is assembled).  Capped so corpora with very many distinct
         # structures do not pin one buffer per (signature, position).
         self._stack_pool = BufferPool(max_entries=4096)
+        # Flat parameter/gradient storage for the compiled engine,
+        # created on first compiled fit (rebinds param.data to views).
+        self._flat: Optional[nn.FlatParameterSpace] = None
+
+    def _ensure_flat(self) -> nn.FlatParameterSpace:
+        if self._flat is None:
+            self._flat = nn.FlatParameterSpace(self.model.parameters())
+        return self._flat
+
+    @property
+    def uses_compiled_engine(self) -> bool:
+        """Whether ``fit`` runs the compiled (tape-free) training path."""
+        return self.config.engine == "compiled" and self.config.mode == "both"
 
     # ------------------------------------------------------------------
     # Loss assembly
@@ -144,6 +199,63 @@ class Trainer:
         return mse
 
     # ------------------------------------------------------------------
+    # Compiled engine (tape-free loss + backward)
+    # ------------------------------------------------------------------
+    def _compiled_group_forward(self, group: StructureGroup) -> _GroupForward:
+        """Schedule forward plus the fused per-group loss ingredients.
+
+        The fused loss stacks every operator's latency output into one
+        ``(B, n_nodes)`` matrix, so the Eq. 7 sum of squared errors is a
+        single subtraction and a single reduction — no per-operator tape
+        terms.
+        """
+        schedule = self.model.compile_schedule(group.graph)
+        outputs, tape = schedule.forward_training(group.features)
+        preds = np.stack([out[:, 0] for out in outputs], axis=1)
+        diff = preds - group.labels
+        flat = diff.ravel()
+        return _GroupForward(schedule, tape, diff, float(flat @ flat))
+
+    def compiled_loss_backward(self, groups: Sequence[StructureGroup]) -> float:
+        """Eq. 7 over pre-grouped batch ``groups``, compiled end to end.
+
+        Runs the fused forward/loss per group, then seeds each group's
+        per-position gradient buffers with the loss gradient of the
+        latency column and walks the backward schedule.  Parameter
+        gradients accumulate in place into ``param.grad`` (flat-space
+        views when the compiled fit loop bound them); returns the loss
+        value.  Gradients match the taped :meth:`batch_loss` +
+        ``backward()`` to <= 1e-9.
+        """
+        forwards = [self._compiled_group_forward(g) for g in groups]
+        total_ops = max(1, sum(g.n_operators for g in groups))
+        mse = sum(f.sse for f in forwards) / total_ops
+        if self.config.loss == "rmse":
+            loss = float(np.sqrt(mse + 1e-12))
+            # d loss / d sse = d sqrt(mse+eps)/d mse * 1/total_ops
+            coeff = 0.5 / loss / total_ops
+        else:
+            loss = mse
+            coeff = 1.0 / total_ops
+        for fwd in forwards:
+            seeds = fwd.schedule.alloc_output_grads(fwd.diff.shape[0])
+            latency_grad = (2.0 * coeff) * fwd.diff
+            for pos in range(fwd.schedule.n_nodes):
+                seeds[pos][:, 0] = latency_grad[:, pos]
+            fwd.schedule.backward(fwd.tape, seeds)
+        return loss
+
+    def _compiled_train_step(self, groups: Sequence[StructureGroup]) -> float:
+        """One batch: zero flat grads, fused loss+backward, clip, step."""
+        flat = self._ensure_flat()
+        flat.zero_grad()
+        loss = self.compiled_loss_backward(groups)
+        if self.config.grad_clip:
+            flat.clip_grad_norm_(self.config.grad_clip)
+        self.optimizer.step_flat(flat)
+        return loss
+
+    # ------------------------------------------------------------------
     # Fit loop
     # ------------------------------------------------------------------
     def fit(
@@ -160,26 +272,55 @@ class Trainer:
         ``eval_every`` epochs — used by the Figure 9b/9c convergence
         experiment.
         """
-        epochs = epochs if epochs is not None else self.config.epochs
         corpus = vectorize_corpus(samples, self.model.featurizer)
+        return self.fit_vectorized(
+            corpus, epochs=epochs, eval_fn=eval_fn, eval_every=eval_every, verbose=verbose
+        )
+
+    def fit_vectorized(
+        self,
+        corpus: Sequence[VectorizedPlan],
+        epochs: Optional[int] = None,
+        eval_fn: Optional[Callable[[QPPNet], float]] = None,
+        eval_every: int = 0,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """:meth:`fit` over an already-vectorized corpus.
+
+        Lets callers (benchmarks, repeated fits over the same corpus)
+        amortize featurization, and is the entry point that picks the
+        training engine: mode ``both`` with ``engine="compiled"`` runs
+        the tape-free compiled path over an epoch-level
+        :class:`PreGroupedCorpus`; everything else runs the taped
+        reference loop.
+        """
+        epochs = epochs if epochs is not None else self.config.epochs
         rng = np.random.default_rng(self.config.seed + 7)
         scheduler = None
         if self.config.lr_decay_every and hasattr(self.optimizer, "lr"):
             scheduler = nn.StepLR(
                 self.optimizer, self.config.lr_decay_every, self.config.lr_decay_gamma
             )
+        compiled = self.uses_compiled_engine
+        pre_grouped = PreGroupedCorpus(corpus) if compiled else None
         history = TrainingHistory()
         start = time.perf_counter()
         for epoch in range(1, epochs + 1):
             epoch_losses = []
-            for batch in sample_batches(corpus, self.config.batch_size, rng):
-                loss = self.batch_loss(batch)
-                self.optimizer.zero_grad()
-                loss.backward()
-                if self.config.grad_clip:
-                    self.optimizer.clip_grad_norm(self.config.grad_clip)
-                self.optimizer.step()
-                epoch_losses.append(loss.item())
+            if compiled:
+                for groups in pre_grouped.iter_batches(
+                    self.config.batch_size, rng, pool=self._stack_pool
+                ):
+                    epoch_losses.append(self._compiled_train_step(groups))
+            else:
+                for batch in sample_batches(corpus, self.config.batch_size, rng):
+                    loss = self.batch_loss(batch)
+                    self.optimizer.zero_grad()
+                    loss.backward()
+                    if self.config.grad_clip:
+                        self.optimizer.clip_grad_norm(self.config.grad_clip)
+                    self.optimizer.step()
+                    epoch_losses.append(loss.item())
             if scheduler is not None:
                 scheduler.step()
             history.epochs.append(epoch)

@@ -68,6 +68,27 @@ class NeuralUnit(nn.Module):
             )
         return self.net.forward_numpy(x)
 
+    def forward_train(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        """Raw-numpy forward caching layer activations for ``backward_train``.
+
+        Input width is guaranteed by the :class:`~repro.core.compile.ScheduleStep`
+        that assembled ``x``, so no re-validation on this hot path.
+        """
+        return self.net.forward_train(x)
+
+    def backward_train(
+        self, grad: np.ndarray, ctx: object, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        """Closed-form backward through the layer stack.
+
+        Accumulates parameter gradients in place (into ``param.grad``
+        buffers, shared across every plan position this unit serves) and
+        returns the gradient w.r.t. the assembled input matrix — or
+        ``None`` when the caller declines it (leaf positions, whose input
+        is all constant features).
+        """
+        return self.net.backward_train(grad, ctx, need_input_grad)
+
     def assemble_input(
         self, features: nn.Tensor, child_outputs: list[nn.Tensor]
     ) -> nn.Tensor:

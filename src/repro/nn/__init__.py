@@ -10,7 +10,7 @@ from . import functional
 from .gradcheck import check_gradients, numerical_gradient
 from .layers import Lambda, Linear, Module, ReLU, Sequential, Sigmoid, Tanh, mlp
 from .loss import LOSSES, huber_loss, l1_loss, mse_loss, rmse_loss
-from .optim import SGD, Adam, Optimizer, StepLR, make_optimizer
+from .optim import SGD, Adam, FlatParameterSpace, Optimizer, StepLR, make_optimizer
 from .serialize import load_module, save_module
 from .tensor import Tensor, inference_mode, is_inference_mode, ones, tensor, zeros
 
@@ -33,6 +33,7 @@ __all__ = [
     "SGD",
     "Adam",
     "Optimizer",
+    "FlatParameterSpace",
     "StepLR",
     "make_optimizer",
     "mse_loss",

@@ -39,6 +39,39 @@ class Module:
             return self.forward(Tensor(x)).data
 
     # ------------------------------------------------------------------
+    # Compiled (tape-free) training path
+    # ------------------------------------------------------------------
+    def forward_train(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+        """Raw-numpy forward that also returns the backward context.
+
+        The context holds exactly the intermediates :meth:`backward_train`
+        needs (inputs for affine maps, masks for activations) — no tape,
+        no closures.  Only modules with a closed-form backward implement
+        this pair; the compiled training engine in :mod:`repro.core`
+        requires it of every module on the unit's layer stack.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support the compiled training path"
+        )
+
+    def backward_train(
+        self, grad: np.ndarray, ctx: object, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        """Closed-form backward: accumulate parameter gradients in place
+        (same ``+=`` semantics as :meth:`Tensor._accumulate`, so the
+        additions land in flat-buffer views when a
+        :class:`~repro.nn.optim.FlatParameterSpace` bound them) and
+        return the input gradient.
+
+        ``need_input_grad=False`` lets the caller skip the input-gradient
+        product when nothing upstream consumes it (e.g. a leaf unit whose
+        input is all constant plan features); ``None`` is returned then.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support the compiled training path"
+        )
+
+    # ------------------------------------------------------------------
     # Parameter traversal
     # ------------------------------------------------------------------
     def parameters(self) -> Iterator[Tensor]:
@@ -84,7 +117,9 @@ class Module:
                 raise ValueError(
                     f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
                 )
-            param.data = value.copy()
+            # In-place copy: parameters may be views into a flat buffer
+            # (FlatParameterSpace), which rebinding would silently orphan.
+            np.copyto(param.data, value)
 
 
 class Linear(Module):
@@ -127,6 +162,30 @@ class Linear(Module):
             out = out + self.bias.data
         return out
 
+    def forward_train(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        # Hot path: width is guaranteed by the compiled schedule, and the
+        # fresh matmul output lets the bias add run in place.
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out += self.bias.data
+        return out, x
+
+    def backward_train(
+        self, grad: np.ndarray, ctx: np.ndarray, need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        x = ctx
+        weight, bias = self.weight, self.bias
+        if weight.grad is None:
+            weight.grad = np.zeros_like(weight.data)
+        weight.grad += x.T @ grad
+        if bias is not None:
+            if bias.grad is None:
+                bias.grad = np.zeros_like(bias.data)
+            bias.grad += np.add.reduce(grad, axis=0)
+        if not need_input_grad:
+            return None
+        return grad @ weight.data.T
+
     def __repr__(self) -> str:
         return f"Linear({self.in_features} -> {self.out_features})"
 
@@ -137,6 +196,15 @@ class ReLU(Module):
 
     def forward_numpy(self, x: np.ndarray) -> np.ndarray:
         return x * (x > 0)
+
+    def forward_train(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        mask = x > 0
+        return x * mask, mask
+
+    def backward_train(
+        self, grad: np.ndarray, ctx: np.ndarray, need_input_grad: bool = True
+    ) -> np.ndarray:
+        return grad * ctx
 
     def __repr__(self) -> str:
         return "ReLU()"
@@ -149,6 +217,15 @@ class Sigmoid(Module):
     def forward_numpy(self, x: np.ndarray) -> np.ndarray:
         return 1.0 / (1.0 + np.exp(-x))
 
+    def forward_train(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        out = 1.0 / (1.0 + np.exp(-x))
+        return out, out
+
+    def backward_train(
+        self, grad: np.ndarray, ctx: np.ndarray, need_input_grad: bool = True
+    ) -> np.ndarray:
+        return grad * ctx * (1.0 - ctx)
+
 
 class Tanh(Module):
     def forward(self, x: Tensor) -> Tensor:
@@ -156,6 +233,15 @@ class Tanh(Module):
 
     def forward_numpy(self, x: np.ndarray) -> np.ndarray:
         return np.tanh(x)
+
+    def forward_train(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        out = np.tanh(x)
+        return out, out
+
+    def backward_train(
+        self, grad: np.ndarray, ctx: np.ndarray, need_input_grad: bool = True
+    ) -> np.ndarray:
+        return grad * (1.0 - ctx**2)
 
 
 class Lambda(Module):
@@ -187,6 +273,21 @@ class Sequential(Module):
         for module in self.modules:
             x = module.forward_numpy(x)
         return x
+
+    def forward_train(self, x: np.ndarray) -> tuple[np.ndarray, list[object]]:
+        tape = []
+        for module in self.modules:
+            x, ctx = module.forward_train(x)
+            tape.append(ctx)
+        return x, tape
+
+    def backward_train(
+        self, grad: np.ndarray, ctx: list[object], need_input_grad: bool = True
+    ) -> Optional[np.ndarray]:
+        last = len(self.modules) - 1
+        for i, (module, saved) in enumerate(zip(reversed(self.modules), reversed(ctx))):
+            grad = module.backward_train(grad, saved, need_input_grad or i < last)
+        return grad
 
     def append(self, module: Module) -> None:
         self.modules.append(module)

@@ -3,6 +3,16 @@ future-work suggestion, which we also evaluate as an extension).
 
 The paper trains with standard SGD, learning rate 0.001, momentum 0.9
 (§6, "Neural networks").
+
+Two update paths are provided:
+
+* the classic per-parameter :meth:`Optimizer.step` over ``param.grad``
+  arrays (the reference path, used by taped training);
+* a fused path over a :class:`FlatParameterSpace` — every parameter's
+  data and gradient live as views into one flat buffer each, so the
+  global-norm clip and the optimizer update are a handful of vectorized
+  numpy operations regardless of how many (small) parameters the model
+  has.  Used by the compiled training engine in :mod:`repro.core.trainer`.
 """
 
 from __future__ import annotations
@@ -12,6 +22,74 @@ from typing import Iterable, Optional
 import numpy as np
 
 from .tensor import Tensor
+
+
+class FlatParameterSpace:
+    """Flat data/grad storage for a fixed parameter list, with views.
+
+    Construction concatenates all parameter values into one flat
+    ``float64`` buffer and rebinds each ``param.data`` to a reshaped view
+    of it (values preserved); a parallel flat gradient buffer provides
+    per-parameter views that :meth:`bind_grads` installs as ``param.grad``.
+    Gradient accumulation (taped ``_accumulate`` or the compiled
+    ``backward_train`` path) then lands directly in the flat buffer, and:
+
+    * :meth:`clip_grad_norm_` computes the global L2 norm with one dot
+      product and rescales with one multiply (vs. a Python loop over
+      parameters);
+    * :meth:`SGD.step_flat` / :meth:`Adam.step_flat` update every
+      parameter with O(1) numpy calls total.
+
+    One space should own a parameter at a time: building a second space
+    over the same parameters rebinds them and orphans the first.  Note
+    the fused semantics treat a parameter with no gradient this step as
+    having a zero gradient (momentum keeps coasting), whereas the loop
+    :meth:`Optimizer.step` skips ``grad is None`` parameters entirely.
+    """
+
+    def __init__(self, parameters: Iterable[Tensor]) -> None:
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("FlatParameterSpace received no parameters")
+        if len({id(p) for p in self.parameters}) != len(self.parameters):
+            raise ValueError("duplicate parameters in FlatParameterSpace")
+        self.size = sum(p.data.size for p in self.parameters)
+        self.data = np.empty(self.size, dtype=np.float64)
+        self.grad = np.zeros(self.size, dtype=np.float64)
+        self._grad_views: list[np.ndarray] = []
+        offset = 0
+        for param in self.parameters:
+            shape = param.data.shape
+            stop = offset + param.data.size
+            self.data[offset:stop] = param.data.reshape(-1)
+            param.data = self.data[offset:stop].reshape(shape)
+            self._grad_views.append(self.grad[offset:stop].reshape(shape))
+            offset = stop
+
+    def bind_grads(self) -> None:
+        """Install the flat-buffer views as every ``param.grad``."""
+        for param, view in zip(self.parameters, self._grad_views):
+            param.grad = view
+
+    def zero_grad(self) -> None:
+        """Zero the flat gradient buffer and (re)bind the views."""
+        self.grad.fill(0.0)
+        self.bind_grads()
+
+    def grad_norm(self) -> float:
+        """Global L2 norm of all gradients (one dot product)."""
+        return float(np.sqrt(self.grad @ self.grad))
+
+    def clip_grad_norm_(self, max_norm: float) -> float:
+        """Vectorized global-norm clip; returns the pre-clip norm.
+
+        Agrees with :meth:`Optimizer.clip_grad_norm` when every
+        parameter's gradient is bound to this space.
+        """
+        norm = self.grad_norm()
+        if norm > max_norm and norm > 0.0:
+            self.grad *= max_norm / norm
+        return norm
 
 
 class Optimizer:
@@ -28,6 +106,10 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    def step_flat(self, space: FlatParameterSpace) -> None:
+        """Fused update over a :class:`FlatParameterSpace` (if supported)."""
+        raise NotImplementedError(f"{type(self).__name__} has no fused step")
 
     def clip_grad_norm(self, max_norm: float) -> float:
         """Scale gradients so their global L2 norm is at most ``max_norm``.
@@ -67,6 +149,7 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        self._flat_velocity: Optional[np.ndarray] = None
 
     def step(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
@@ -78,6 +161,18 @@ class SGD(Optimizer):
             velocity *= self.momentum
             velocity -= self.lr * grad
             param.data += velocity
+
+    def step_flat(self, space: FlatParameterSpace) -> None:
+        """One fused momentum update over the whole flat parameter space."""
+        if self._flat_velocity is None or self._flat_velocity.shape != space.grad.shape:
+            self._flat_velocity = np.zeros_like(space.grad)
+        grad = space.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * space.data
+        velocity = self._flat_velocity
+        velocity *= self.momentum
+        velocity -= self.lr * grad
+        space.data += velocity
 
 
 class Adam(Optimizer):
@@ -101,6 +196,8 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
         self._t = 0
+        self._flat_m: Optional[np.ndarray] = None
+        self._flat_v: Optional[np.ndarray] = None
 
     def step(self) -> None:
         self._t += 1
@@ -120,11 +217,33 @@ class Adam(Optimizer):
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def step_flat(self, space: FlatParameterSpace) -> None:
+        """One fused Adam update over the whole flat parameter space."""
+        if self._flat_m is None or self._flat_m.shape != space.grad.shape:
+            self._flat_m = np.zeros_like(space.grad)
+            self._flat_v = np.zeros_like(space.grad)
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        grad = space.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * space.data
+        m, v = self._flat_m, self._flat_v
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad**2
+        space.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
 
 class StepLR:
-    """Multiply the optimizer learning rate by ``gamma`` every ``step_size`` epochs."""
+    """Multiply the optimizer learning rate by ``gamma`` every ``step_size`` epochs.
 
-    def __init__(self, optimizer: SGD, step_size: int, gamma: float = 0.5) -> None:
+    Works with any optimizer exposing a mutable ``lr`` attribute (both
+    :class:`SGD` and :class:`Adam` do).
+    """
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
         if step_size <= 0:
             raise ValueError("step_size must be positive")
         self.optimizer = optimizer

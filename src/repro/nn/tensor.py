@@ -136,7 +136,12 @@ class Tensor:
         return f"Tensor(shape={self.shape}{grad_flag})"
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a tensor with exactly one element, "
+                f"got shape {self.data.shape} ({self.data.size} elements)"
+            )
+        return float(self.data.reshape(-1)[0])
 
     def numpy(self) -> np.ndarray:
         """Return the underlying array (not a copy)."""

@@ -1,0 +1,182 @@
+"""FlatParameterSpace: view binding, vectorized clip, fused optimizer steps."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, FlatParameterSpace, Tensor, mlp, mse_loss
+
+
+def make_twin_nets(seed=7):
+    """Two structurally identical MLPs with identical weights."""
+    a = mlp(3, [5], 2, rng=np.random.default_rng(seed))
+    b = mlp(3, [5], 2, rng=np.random.default_rng(seed))
+    return a, b
+
+
+def set_equal_grads(net_a, net_b, seed=0):
+    """Identical random grads; writes in place when a grad is already
+    bound (e.g. to a FlatParameterSpace view) so the flat buffer sees them."""
+    rng = np.random.default_rng(seed)
+    for pa, pb in zip(net_a.parameters(), net_b.parameters()):
+        grad = rng.normal(size=pa.data.shape)
+        pa.grad = grad.copy()
+        if pb.grad is None:
+            pb.grad = grad.copy()
+        else:
+            pb.grad[...] = grad
+
+
+class TestBinding:
+    def test_data_becomes_views_with_values_preserved(self):
+        net = mlp(3, [4], 1, rng=np.random.default_rng(0))
+        before = [p.data.copy() for p in net.parameters()]
+        space = FlatParameterSpace(net.parameters())
+        for param, want in zip(net.parameters(), before):
+            assert np.array_equal(param.data, want)
+            assert np.shares_memory(param.data, space.data)
+
+    def test_flat_writes_reach_params(self):
+        x = Tensor(np.zeros((2, 2)), requires_grad=True)
+        space = FlatParameterSpace([x])
+        space.data[:] = 7.0
+        assert np.all(x.data == 7.0)
+
+    def test_grad_accumulation_lands_in_flat_buffer(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        space = FlatParameterSpace([x])
+        space.zero_grad()
+        (x * x).sum().backward()
+        assert np.allclose(space.grad, 2.0)
+        assert np.shares_memory(x.grad, space.grad)
+
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(ValueError):
+            FlatParameterSpace([])
+        x = Tensor(np.ones(2), requires_grad=True)
+        with pytest.raises(ValueError):
+            FlatParameterSpace([x, x])
+
+
+class TestVectorizedClip:
+    def test_agrees_with_loop_clip(self):
+        net_a, net_b = make_twin_nets()
+        opt = SGD(list(net_a.parameters()), lr=0.1)
+        space = FlatParameterSpace(list(net_b.parameters()))
+        space.zero_grad()
+        set_equal_grads(net_a, net_b, seed=3)
+
+        norm_loop = opt.clip_grad_norm(0.5)
+        norm_flat = space.clip_grad_norm_(0.5)
+        assert norm_loop == pytest.approx(norm_flat, rel=1e-12)
+        for pa, pb in zip(net_a.parameters(), net_b.parameters()):
+            assert np.allclose(pa.grad, pb.grad, atol=1e-12)
+
+    def test_no_scale_below_threshold(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        space = FlatParameterSpace([x])
+        space.zero_grad()
+        x.grad[:] = 0.1
+        norm = space.clip_grad_norm_(10.0)
+        assert norm == pytest.approx(np.sqrt(0.02))
+        assert np.allclose(x.grad, 0.1)
+
+    def test_loop_clip_with_all_none_grads(self):
+        """The loop version must be a no-op (norm 0), not a crash."""
+        x = Tensor(np.ones(2), requires_grad=True)
+        opt = SGD([x], lr=0.1)
+        assert opt.clip_grad_norm(1.0) == 0.0
+        assert x.grad is None
+
+
+class TestFusedSGD:
+    def test_step_flat_matches_loop_step(self):
+        net_loop, net_flat = make_twin_nets()
+        opt_loop = SGD(list(net_loop.parameters()), lr=0.05, momentum=0.9)
+        params_flat = list(net_flat.parameters())
+        opt_flat = SGD(params_flat, lr=0.05, momentum=0.9)
+        space = FlatParameterSpace(params_flat)
+        for step in range(4):
+            space.zero_grad()
+            set_equal_grads(net_loop, net_flat, seed=step)
+            opt_loop.step()
+            opt_flat.step_flat(space)
+            for pa, pb in zip(net_loop.parameters(), net_flat.parameters()):
+                assert np.allclose(pa.data, pb.data, atol=1e-12)
+
+    def test_step_flat_weight_decay_matches_loop(self):
+        net_loop, net_flat = make_twin_nets()
+        opt_loop = SGD(list(net_loop.parameters()), lr=0.05, momentum=0.9, weight_decay=0.1)
+        params_flat = list(net_flat.parameters())
+        opt_flat = SGD(params_flat, lr=0.05, momentum=0.9, weight_decay=0.1)
+        space = FlatParameterSpace(params_flat)
+        space.zero_grad()
+        set_equal_grads(net_loop, net_flat)
+        opt_loop.step()
+        opt_flat.step_flat(space)
+        for pa, pb in zip(net_loop.parameters(), net_flat.parameters()):
+            assert np.allclose(pa.data, pb.data, atol=1e-12)
+
+    def test_sgd_weight_decay_shrinks_params(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        opt = SGD([x], lr=0.1, momentum=0.0, weight_decay=0.5)
+        x.grad = np.zeros(1)
+        opt.step()
+        assert 0.0 < x.data[0] < 2.0
+
+
+class TestFusedAdam:
+    def test_step_flat_matches_loop_step(self):
+        net_loop, net_flat = make_twin_nets()
+        opt_loop = Adam(list(net_loop.parameters()), lr=0.01)
+        params_flat = list(net_flat.parameters())
+        opt_flat = Adam(params_flat, lr=0.01)
+        space = FlatParameterSpace(params_flat)
+        for step in range(4):
+            space.zero_grad()
+            set_equal_grads(net_loop, net_flat, seed=10 + step)
+            opt_loop.step()
+            opt_flat.step_flat(space)
+            for pa, pb in zip(net_loop.parameters(), net_flat.parameters()):
+                assert np.allclose(pa.data, pb.data, atol=1e-12)
+
+    def test_step_flat_weight_decay_matches_loop(self):
+        net_loop, net_flat = make_twin_nets()
+        opt_loop = Adam(list(net_loop.parameters()), lr=0.01, weight_decay=0.2)
+        params_flat = list(net_flat.parameters())
+        opt_flat = Adam(params_flat, lr=0.01, weight_decay=0.2)
+        space = FlatParameterSpace(params_flat)
+        space.zero_grad()
+        set_equal_grads(net_loop, net_flat)
+        opt_loop.step()
+        opt_flat.step_flat(space)
+        for pa, pb in zip(net_loop.parameters(), net_flat.parameters()):
+            assert np.allclose(pa.data, pb.data, atol=1e-12)
+
+    def test_adam_weight_decay_shrinks_params(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        opt = Adam([x], lr=0.1, weight_decay=0.5)
+        x.grad = np.zeros(1)
+        for _ in range(5):
+            opt.step()
+        assert x.data[0] < 2.0
+
+    def test_base_optimizer_has_no_fused_step(self):
+        from repro.nn import Optimizer
+
+        x = Tensor(np.ones(1), requires_grad=True)
+        space = FlatParameterSpace([Tensor(np.ones(1), requires_grad=True)])
+        with pytest.raises(NotImplementedError):
+            Optimizer([x]).step_flat(space)
+
+
+class TestLoadStateDictPreservesBinding:
+    def test_views_survive_load_state_dict(self):
+        net = mlp(3, [4], 1, rng=np.random.default_rng(1))
+        state = {k: v * 2.0 for k, v in net.state_dict().items()}
+        space = FlatParameterSpace(net.parameters())
+        net.load_state_dict(state)
+        for param in net.parameters():
+            assert np.shares_memory(param.data, space.data)
+        # The flat buffer saw the new values too.
+        rebuilt = np.concatenate([v.reshape(-1) for v in state.values()])
+        assert rebuilt.shape == space.data.shape

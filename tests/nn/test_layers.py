@@ -82,6 +82,48 @@ class TestSequentialAndMLP:
         assert len(names) == len(set(names)) == 6
 
 
+class TestCompiledTrainingPath:
+    """forward_train/backward_train must agree with the taped reference."""
+
+    @pytest.mark.parametrize("activation", ["relu", "sigmoid", "tanh"])
+    def test_backward_train_matches_tape(self, activation):
+        net = mlp(4, [6, 5], 3, rng=np.random.default_rng(2), activation=activation)
+        x = np.random.default_rng(3).normal(size=(7, 4))
+        seed = np.random.default_rng(4).normal(size=(7, 3))
+
+        # Taped reference.
+        net.zero_grad()
+        x_t = Tensor(x, requires_grad=True)
+        net(x_t).backward(seed)
+        taped_grads = [p.grad.copy() for p in net.parameters()]
+        taped_input_grad = x_t.grad.copy()
+
+        # Compiled path.
+        net.zero_grad()
+        out, tape = net.forward_train(x)
+        assert np.allclose(out, net.forward_numpy(x), atol=1e-12)
+        input_grad = net.backward_train(seed, tape)
+        for got, want in zip((p.grad for p in net.parameters()), taped_grads):
+            assert np.allclose(got, want, atol=1e-12)
+        assert np.allclose(input_grad, taped_input_grad, atol=1e-12)
+
+    def test_backward_train_can_skip_input_grad(self):
+        net = mlp(3, [4], 2, rng=np.random.default_rng(5))
+        out, tape = net.forward_train(np.ones((2, 3)))
+        assert net.backward_train(np.ones((2, 2)), tape, need_input_grad=False) is None
+        # Parameter grads are still accumulated.
+        assert all(p.grad is not None for p in net.parameters())
+
+    def test_unsupported_module_raises(self):
+        from repro.nn import Lambda
+
+        bad = Lambda(lambda t: t, label="Identity")
+        with pytest.raises(NotImplementedError, match="compiled training"):
+            bad.forward_train(np.ones((1, 1)))
+        with pytest.raises(NotImplementedError, match="compiled training"):
+            bad.backward_train(np.ones((1, 1)), None)
+
+
 class TestStateDict:
     def test_roundtrip(self):
         net1 = mlp(4, [8], 2, rng=np.random.default_rng(1))

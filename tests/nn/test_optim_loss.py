@@ -114,6 +114,16 @@ class TestFactoryAndSchedule:
         with pytest.raises(ValueError):
             StepLR(SGD([quadratic_param()], lr=1.0), step_size=0)
 
+    def test_step_lr_works_with_adam(self):
+        """StepLR is typed against Optimizer, not SGD — Adam decays too
+        (the trainer's ``hasattr(optimizer, "lr")`` gate relies on it)."""
+        opt = Adam([quadratic_param()], lr=0.8)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.4)
+        sched.step()
+        assert opt.lr == pytest.approx(0.2)
+
 
 class TestLosses:
     def test_mse_value(self):

@@ -28,6 +28,14 @@ class TestConstruction:
     def test_item_scalar(self):
         assert Tensor([[4.0]]).item() == 4.0
 
+    def test_item_rejects_multi_element(self):
+        with pytest.raises(ValueError, match="exactly one element"):
+            Tensor([1.0, 2.0]).item()
+
+    def test_item_rejects_empty(self):
+        with pytest.raises(ValueError, match="exactly one element"):
+            Tensor(np.zeros((0, 3))).item()
+
     def test_len_and_size(self):
         t = Tensor(np.zeros((4, 2)))
         assert len(t) == 4
