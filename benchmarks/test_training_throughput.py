@@ -1,10 +1,18 @@
-"""BENCH: training throughput — taped autodiff vs the compiled engine.
+"""BENCH: training throughput — taped autodiff vs compiled vs level-fused.
 
 Trains the same model (mode ``both``, the paper's configuration) on a
-512-plan mixed-template TPC-H corpus under both execution engines and
-measures epochs/sec.  The ISSUE-2 acceptance bar: the compiled engine
-(schedule-level fused backward + vectorized loss + epoch-pregrouped
-batching + fused flat optimizer) at >= 3x the taped reference.
+512-plan mixed-template TPC-H corpus under all three execution engines
+and measures epochs/sec:
+
+* ``taped``    — the autodiff reference (PR 2 baseline);
+* ``compiled`` — per-group tape-free schedules (PR 2 engine, now
+  level-fused within each group);
+* ``fused``    — cross-structure level fusion: one matmul per unit type
+  per tree depth for the whole batch (ISSUE 3 tentpole).
+
+Acceptance bars: compiled >= 3x taped (ISSUE 2), fused >= 1.5x compiled
+(ISSUE 3; CI relaxes to 1.3x on noisy shared runners via the
+``BENCH_FUSED_MIN_SPEEDUP`` env var).
 
 Writes the measurement to ``BENCH_training.json`` (override the path via
 the ``BENCH_TRAINING_JSON`` env var) so CI can archive the perf
@@ -26,7 +34,8 @@ from repro.featurize import Featurizer
 from repro.workload import Workbench
 
 N_PLANS = 512
-REQUIRED_SPEEDUP = 3.0
+REQUIRED_SPEEDUP = 3.0  # compiled vs taped (ISSUE 2)
+REQUIRED_FUSED_SPEEDUP = float(os.environ.get("BENCH_FUSED_MIN_SPEEDUP", "1.5"))
 TIMED_EPOCHS = 3
 
 
@@ -43,8 +52,8 @@ def _epoch_time(featurizer, vectorized, engine):
     config = QPPNetConfig(mode="both", engine=engine, seed=0)
     model = QPPNet(featurizer, config)
     trainer = Trainer(model, config)
-    # Warm one epoch: schedule compilation, buffer growth, pre-grouping
-    # and flat-space construction are one-time costs.
+    # Warm one epoch: schedule/level-plan compilation, buffer growth,
+    # pre-grouping and flat-space construction are one-time costs.
     trainer.fit_vectorized(vectorized, epochs=1)
     best = float("inf")
     for _ in range(2):
@@ -59,7 +68,10 @@ def test_compiled_training_throughput(workload):
 
     taped_s, taped_loss = _epoch_time(featurizer, vectorized, "taped")
     compiled_s, compiled_loss = _epoch_time(featurizer, vectorized, "compiled")
+    fused_s, fused_loss = _epoch_time(featurizer, vectorized, "fused")
     speedup = taped_s / compiled_s
+    fused_speedup = taped_s / fused_s
+    fused_vs_compiled = compiled_s / fused_s
     n_structures = len({p.graph.signature for p in vectorized})
 
     result = {
@@ -68,12 +80,18 @@ def test_compiled_training_throughput(workload):
         "n_structures": n_structures,
         "taped_epoch_s": round(taped_s, 4),
         "compiled_epoch_s": round(compiled_s, 4),
+        "fused_epoch_s": round(fused_s, 4),
         "taped_plans_per_s": round(N_PLANS / taped_s, 1),
         "compiled_plans_per_s": round(N_PLANS / compiled_s, 1),
+        "fused_plans_per_s": round(N_PLANS / fused_s, 1),
         "speedup": round(speedup, 2),
+        "fused_speedup": round(fused_speedup, 2),
+        "fused_vs_compiled": round(fused_vs_compiled, 2),
         "required_speedup": REQUIRED_SPEEDUP,
+        "required_fused_vs_compiled": REQUIRED_FUSED_SPEEDUP,
         "taped_final_loss": taped_loss,
         "compiled_final_loss": compiled_loss,
+        "fused_final_loss": fused_loss,
     }
     out_path = Path(os.environ.get("BENCH_TRAINING_JSON", "BENCH_training.json"))
     out_path.write_text(json.dumps(result, indent=2) + "\n")
@@ -83,12 +101,17 @@ def test_compiled_training_throughput(workload):
         f"mode=both\n"
         f"  taped engine    : {taped_s:.3f}s/epoch  ({N_PLANS / taped_s:8.0f} plans/s)\n"
         f"  compiled engine : {compiled_s:.3f}s/epoch  ({N_PLANS / compiled_s:8.0f} plans/s)\n"
-        f"  speedup         : {speedup:.1f}x   (required >= {REQUIRED_SPEEDUP:.0f}x)\n"
+        f"  fused engine    : {fused_s:.3f}s/epoch  ({N_PLANS / fused_s:8.0f} plans/s)\n"
+        f"  compiled/taped  : {speedup:.1f}x   (required >= {REQUIRED_SPEEDUP:.0f}x)\n"
+        f"  fused/compiled  : {fused_vs_compiled:.2f}x   (required >= {REQUIRED_FUSED_SPEEDUP:.2f}x)\n"
+        f"  fused/taped     : {fused_speedup:.1f}x\n"
         f"  -> {out_path}"
     )
 
     # Same objective, same batches, same init: the engines must agree on
     # what they are optimizing, not just be fast.
-    assert np.isfinite(compiled_loss)
+    assert np.isfinite(compiled_loss) and np.isfinite(fused_loss)
     assert compiled_loss == pytest.approx(taped_loss, rel=1e-5)
+    assert fused_loss == pytest.approx(taped_loss, rel=1e-5)
     assert speedup >= REQUIRED_SPEEDUP
+    assert fused_vs_compiled >= REQUIRED_FUSED_SPEEDUP

@@ -15,6 +15,7 @@ from .batching import (
 )
 from .compile import CompiledSchedule, ScheduleCache, ScheduleStep
 from .config import TRAINING_ENGINES, TRAINING_MODES, QPPNetConfig
+from .levels import LevelPlan, LevelPlanCache, LevelRun, LevelStep
 from .model import MIN_PREDICTION_MS, QPPNet
 from .trainer import Trainer, TrainingHistory, train_qppnet
 from .unit import NeuralUnit
@@ -44,4 +45,8 @@ __all__ = [
     "CompiledSchedule",
     "ScheduleCache",
     "ScheduleStep",
+    "LevelPlan",
+    "LevelPlanCache",
+    "LevelRun",
+    "LevelStep",
 ]

@@ -7,25 +7,36 @@ where each child's output lands inside each parent's input vector — is
 pure bookkeeping that depends only on the :class:`~repro.core.batching.PlanGraph`,
 not on the batch.  A :class:`CompiledSchedule` performs that derivation
 exactly once per structure signature and is then reused for every batch
-of that structure, by both training and inference:
+of that structure, by both training and inference.
 
-* :meth:`CompiledSchedule.run_training` executes the schedule with taped
-  :class:`~repro.nn.Tensor` ops (differentiable, used by
-  :meth:`repro.core.model.QPPNet.forward_group` and therefore the
-  :class:`~repro.core.trainer.Trainer`);
-* :meth:`CompiledSchedule.run_inference` executes it with raw numpy
-  through ``forward_numpy`` fast paths, assembling each unit's input
-  in a pre-allocated per-position buffer (no tape, no per-batch
-  concatenation allocations);
-* :meth:`CompiledSchedule.forward_training` /
-  :meth:`CompiledSchedule.backward` are the compiled *training* pair:
-  the forward caches each unit's layer activations, and the backward
-  walks the schedule in reverse postorder with closed-form per-unit
-  gradients, routing each child's output gradient out of the parent's
-  pre-resolved input slice — no tape, no per-op closures, parameter
-  gradients accumulated in place.  Used by the trainer's compiled
-  engine (mode ``both``); the taped ``run_training`` stays as the
-  reference implementation and serves the ablation modes.
+Three execution tiers share this machinery, each removing more
+per-batch work than the one before:
+
+1. **Per-plan taped** (reference) — :meth:`CompiledSchedule.run_training`
+   executes the schedule with taped :class:`~repro.nn.Tensor` ops
+   (differentiable autodiff; used by
+   :meth:`repro.core.model.QPPNet.forward_group`, the trainer's
+   ``taped`` engine, and the Figure 9a ablation modes, whose
+   deliberately redundant computation must stay observable).
+   :meth:`CompiledSchedule.run_inference` is its tape-free serving twin:
+   raw numpy through ``forward_numpy`` fast paths with pooled
+   input-assembly buffers — the lowest-latency choice for a *single*
+   plan, where there is nothing to fuse across.
+2. **Per-group compiled** — :meth:`CompiledSchedule.forward_training` /
+   :meth:`CompiledSchedule.backward` run one structure group tape-free
+   with closed-form per-unit gradients.  Internally this tier *is* a
+   single-graph :class:`~repro.core.levels.LevelPlan`: all positions of
+   one unit type at one tree depth within the group run as one stacked
+   matmul (which subsumes the earlier leaf-only ``FusedLeafGroup`` —
+   leaves are simply depth-0 levels), and the backward walks the levels
+   top-down, scatter-adding child gradients through the pre-resolved
+   input slices.  Selected by ``QPPNetConfig.engine="compiled"``.
+3. **Cross-group level-fused** — :class:`~repro.core.levels.LevelPlan`
+   over *all* structure groups of a batch at once: one matmul per unit
+   type per tree depth for the whole mixed-structure batch, forward and
+   backward.  Selected by ``QPPNetConfig.engine="fused"`` (the default)
+   and used by :meth:`repro.serving.InferenceSession.predict_batch` for
+   whole-batch serving.
 
 :class:`ScheduleCache` is the LRU signature cache in front of
 compilation; in template workloads the handful of distinct structures
@@ -36,34 +47,18 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro import nn
 from repro.plans.operators import LogicalType
 
-from .batching import BufferPool, PlanGraph
+from .batching import PlanGraph
+from .levels import LevelPlan, LevelRun
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .unit import NeuralUnit
-
-
-@dataclass(frozen=True)
-class FusedLeafGroup:
-    """Leaf positions sharing one unit, evaluated as a single stacked call.
-
-    A leaf whose input is its feature matrix unchanged (no child slots to
-    pad) has no dependency on any other position, and — features being
-    constants — its input gradient is never consumed.  All such positions
-    of one unit type can therefore run as one row-stacked forward at the
-    start of the schedule and one stacked backward (parameter gradients
-    only) deferred to its very end, after every parent has routed its
-    contribution.  Turns k tiny matmuls into one k-times-taller matmul.
-    """
-
-    unit: "NeuralUnit"
-    positions: tuple[int, ...]
 
 
 @dataclass(frozen=True)
@@ -119,30 +114,13 @@ class CompiledSchedule:
                 )
             )
         self.steps: tuple[ScheduleStep, ...] = tuple(steps)
-        # Training-path leaf fusion: group assembly-free leaves by unit.
-        # Fused positions are excluded from the solo training schedule;
-        # inference keeps the plain per-step path.
-        leaf_by_unit: dict[int, list[ScheduleStep]] = {}
-        for step in steps:
-            if not step.children and not step.needs_assembly:
-                leaf_by_unit.setdefault(id(step.unit), []).append(step)
-        fused: list[FusedLeafGroup] = []
-        fused_positions: set[int] = set()
-        for group in leaf_by_unit.values():
-            if len(group) < 2:
-                continue
-            fused.append(
-                FusedLeafGroup(group[0].unit, tuple(s.pos for s in group))
-            )
-            fused_positions.update(s.pos for s in group)
-        self.fused_leaves: tuple[FusedLeafGroup, ...] = tuple(fused)
-        self._solo_steps: tuple[ScheduleStep, ...] = tuple(
-            s for s in steps if s.pos not in fused_positions
-        )
-        # Per-position input-assembly buffers, grown on demand and reused
-        # across batches (row capacity >= current batch size).  Bounded
-        # by n_nodes keys, so no eviction cap is needed here.
-        self._buffers = BufferPool()
+        # Tape-free execution (training AND inference) runs through a
+        # single-graph level plan: every (unit type, depth) of this
+        # structure is one fused step, which generalizes the former
+        # leaf-only fusion.  The taped run_training keeps the per-step
+        # path (autodiff needs per-position tensors anyway).
+        self.levels = LevelPlan((graph,), units)
+        self._grad_flat: Optional[np.ndarray] = None
 
     @property
     def n_nodes(self) -> int:
@@ -151,30 +129,6 @@ class CompiledSchedule:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _assemble(
-        self,
-        key: object,
-        step: ScheduleStep,
-        feats: np.ndarray,
-        outputs,
-    ) -> np.ndarray:
-        """Step input matrix: feature block ⌢ child blocks ⌢ zero padding.
-
-        Written into the schedule's pooled buffer under ``key``; returns
-        the feature matrix unchanged when no assembly is needed.
-        ``outputs`` is any position-indexable collection of child outputs.
-        """
-        if not step.needs_assembly:
-            return feats
-        batch = feats.shape[0]
-        x = self._buffers.take(key, (batch, step.in_features))
-        x[:, step.feature_slice] = feats
-        for child, column in zip(step.children, step.child_slices):
-            x[:, column] = outputs[child]
-        if step.pad_slice.start < step.pad_slice.stop:
-            x[:, step.pad_slice] = 0.0
-        return x
-
     def run_training(self, features: Sequence[np.ndarray]) -> dict[int, nn.Tensor]:
         """Differentiable bottom-up pass: ``{position -> (B, d+1) Tensor}``.
 
@@ -194,95 +148,85 @@ class CompiledSchedule:
     def run_inference(self, features: Sequence[np.ndarray]) -> dict[int, np.ndarray]:
         """Tape-free bottom-up pass: ``{position -> (B, d+1) array}``.
 
-        Writes each unit's input into the schedule's reused assembly
-        buffer (feature block, child blocks, zero padding) and evaluates
-        the unit via its ``forward_numpy`` fast path.  Not thread-safe:
-        the buffers are shared per schedule.
+        Executes level-fused within the structure (one stacked
+        ``forward_numpy`` per unit type per depth); the returned values
+        are row-slice views of the level plan's pooled output matrix,
+        valid until the next tape-free pass on this schedule.  Not
+        thread-safe: the buffers are shared per schedule.
         """
-        outputs: dict[int, np.ndarray] = {}
-        for step in self.steps:
-            x = self._assemble(step.pos, step, features[step.pos], outputs)
-            outputs[step.pos] = step.unit.forward_numpy(x)
-        return outputs
+        batch = features[0].shape[0]
+        run = self.levels.forward_inference((features,), (batch,))
+        return {
+            pos: run.out[self.levels.node_slice(run.layout, 0, pos)]
+            for pos in range(self.n_nodes)
+        }
 
     # ------------------------------------------------------------------
     # Compiled training (tape-free backward)
     # ------------------------------------------------------------------
     def forward_training(
         self, features: Sequence[np.ndarray]
-    ) -> tuple[list[np.ndarray], tuple[list[object], list[object]]]:
+    ) -> tuple[list[np.ndarray], LevelRun]:
         """Raw-numpy bottom-up pass caching activations for :meth:`backward`.
 
         Returns ``(outputs, tape)``: ``outputs[p]`` is the ``(B, d+1)``
-        unit output per position, ``tape`` the opaque activation record
-        :meth:`backward` consumes.  Fused leaf groups run first as one
-        row-stacked call per unit; the remaining (solo) steps follow in
-        postorder.  Input assembly reuses the schedule's pooled buffers,
-        so the tape (which references the assembled inputs) is only valid
-        until the next ``forward_training``/``run_inference`` call on
-        this schedule — i.e. for exactly one train step, the trainer's
-        forward→backward cadence.
+        unit output per position (a row-slice view of the level plan's
+        global output matrix), ``tape`` the :class:`LevelRun` that
+        :meth:`backward` consumes.  Execution is level-fused within the
+        group: all positions of one unit type at one tree depth run as a
+        single stacked call.  The run references the plan's pooled
+        buffers, so it is only valid until the next ``forward_training``
+        call on this schedule — i.e. for exactly one train step, the
+        trainer's forward→backward cadence.
         """
-        n = self.n_nodes
-        outputs: list[np.ndarray] = [None] * n  # type: ignore[list-item]
-        solo_tapes: list[object] = [None] * n
-        fused_tapes: list[object] = []
-        for fl in self.fused_leaves:
-            stacked = np.concatenate([features[p] for p in fl.positions], axis=0)
-            out, ctx = fl.unit.forward_train(stacked)
-            rows = features[fl.positions[0]].shape[0]
-            for i, pos in enumerate(fl.positions):
-                outputs[pos] = out[i * rows : (i + 1) * rows]
-            fused_tapes.append(ctx)
-        for step in self._solo_steps:
-            x = self._assemble(("train", step.pos), step, features[step.pos], outputs)
-            outputs[step.pos], solo_tapes[step.pos] = step.unit.forward_train(x)
-        return outputs, (solo_tapes, fused_tapes)
+        batch = features[0].shape[0]
+        run = self.levels.forward_training((features,), (batch,))
+        outputs = [
+            run.out[self.levels.node_slice(run.layout, 0, pos)]
+            for pos in range(self.n_nodes)
+        ]
+        return outputs, run
 
     def alloc_output_grads(self, batch: int) -> list[np.ndarray]:
-        """Zeroed per-position ``(B, d+1)`` gradient seed buffers (pooled).
+        """Zeroed per-position ``(B, d+1)`` gradient seed buffers.
 
-        The caller writes the loss gradient into the latency column
-        (``[:, 0]``) of each buffer and hands the list to :meth:`backward`,
-        which adds the parent-routed contributions to the data-vector
-        columns on its way down.
+        The returned arrays are row-slice views of one global (pooled)
+        gradient buffer shared with :meth:`backward`.  The caller writes
+        the loss gradient into the latency column (``[:, 0]``) of each
+        view and hands the list to :meth:`backward`, which adds the
+        parent-routed contributions to the data-vector columns on its
+        way down.
         """
-        grads: list[np.ndarray] = [None] * self.n_nodes  # type: ignore[list-item]
-        for step in self.steps:
-            buf = self._buffers.take(("grad", step.pos), (batch, step.unit.data_size + 1))
-            buf.fill(0.0)
-            grads[step.pos] = buf
-        return grads
+        layout = self.levels.layout((batch,))
+        self._grad_flat = self.levels.alloc_output_grads(layout)
+        return [
+            self._grad_flat[self.levels.node_slice(layout, 0, pos)]
+            for pos in range(self.n_nodes)
+        ]
 
-    def backward(
-        self,
-        tape: tuple[Sequence[object], Sequence[object]],
-        output_grads: Sequence[np.ndarray],
-    ) -> None:
-        """Reverse-postorder backward with pre-resolved gradient routing.
+    def backward(self, tape: LevelRun, output_grads: Sequence[np.ndarray]) -> None:
+        """Reverse level-order backward with pre-resolved gradient routing.
 
-        For each solo step (parents before children, since postorder is
-        children-first), the unit's closed-form ``backward_train``
-        accumulates parameter gradients and yields the gradient of the
-        assembled input; the child-output segments of that gradient are
-        added into each child's seed buffer through the same slices the
-        forward used.  Gradients w.r.t. the feature columns are discarded
-        (plan features are constants, not trainable).  Fused leaf groups
-        run last — by then every parent has routed its contribution — as
-        one stacked parameter-gradient-only call per unit.
+        ``output_grads`` must be the views handed out by
+        :meth:`alloc_output_grads` (they alias the global gradient buffer
+        the level plan walks; enforced).  Parents run before children;
+        each fused step accumulates its unit's parameter gradients once
+        and routes the child-slice segments of its input gradient into
+        the children's rows.  Gradients w.r.t. the feature columns are
+        discarded (plan features are constants, not trainable).
         """
-        solo_tapes, fused_tapes = tape
-        for step in reversed(self._solo_steps):
-            grad_in = step.unit.backward_train(
-                output_grads[step.pos],
-                solo_tapes[step.pos],
-                need_input_grad=bool(step.children),
+        flat = self._grad_flat
+        if (
+            flat is None
+            or flat.shape[0] != tape.layout.total_rows
+            or not len(output_grads)
+            or not np.shares_memory(output_grads[0], flat)
+        ):
+            raise ValueError(
+                "output_grads must be the seed views handed out by "
+                "alloc_output_grads for this batch size"
             )
-            for child, column in zip(step.children, step.child_slices):
-                output_grads[child] += grad_in[:, column]
-        for fl, ctx in zip(self.fused_leaves, fused_tapes):
-            stacked = np.concatenate([output_grads[p] for p in fl.positions], axis=0)
-            fl.unit.backward_train(stacked, ctx, need_input_grad=False)
+        self.levels.backward(tape, flat)
 
 
 class ScheduleCache:

@@ -15,12 +15,15 @@ from dataclasses import dataclass, replace
 #: Training-optimization modes (§5.1, ablated in Figure 9a).
 TRAINING_MODES = ("naive", "batching", "info_sharing", "both")
 
-#: Training execution engines.  "compiled" runs mode ``both`` through the
-#: tape-free CompiledSchedule forward/backward (closed-form gradients,
-#: fused loss and optimizer); "taped" forces the reference autodiff path.
-#: The ablation modes always run taped (their redundant computation is the
-#: thing being measured).
-TRAINING_ENGINES = ("compiled", "taped")
+#: Training execution engines for mode ``both``.  "fused" (default) runs
+#: the cross-structure level-fused LevelPlan — one matmul per unit type
+#: per tree depth across every structure group of the batch, forward and
+#: backward; "compiled" runs each structure group separately through its
+#: tape-free CompiledSchedule (closed-form gradients, fused loss and
+#: optimizer); "taped" forces the reference autodiff path.  The ablation
+#: modes always run taped (their redundant computation is the thing being
+#: measured).
+TRAINING_ENGINES = ("fused", "compiled", "taped")
 
 
 @dataclass(frozen=True)
@@ -38,7 +41,7 @@ class QPPNetConfig:
     epochs: int = 120
     batch_size: int = 256
     mode: str = "both"  # training optimization mode (§5.1)
-    engine: str = "compiled"  # training execution engine (mode 'both' only)
+    engine: str = "fused"  # training execution engine (mode 'both' only)
     grad_clip: float = 100.0
     lr_decay_every: int = 0  # epochs between LR decays (0 disables)
     lr_decay_gamma: float = 0.5

@@ -18,7 +18,7 @@ Two forward strategies implement the §5.1.2 ablation:
 from __future__ import annotations
 
 import os
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from repro.plans.operators import LogicalType
 from .batching import PlanGraph, StructureGroup, plan_graph
 from .compile import CompiledSchedule, ScheduleCache
 from .config import QPPNetConfig
+from .levels import LevelPlan, LevelPlanCache
 from .unit import NeuralUnit
 
 #: Floor for reported predictions: latencies are positive quantities and
@@ -60,6 +61,10 @@ class QPPNet(nn.Module):
         # Compile-once execution: schedules are derived per structure
         # signature and reused by training and serving alike.
         self.schedules = ScheduleCache()
+        # Cross-structure level-fused plans, keyed by the tuple of
+        # signatures in a batch (fused trainer engine + whole-batch
+        # serving share these).
+        self.level_plans = LevelPlanCache()
 
     # ------------------------------------------------------------------
     # Parameter plumbing (units live in a dict, so enumerate explicitly)
@@ -74,6 +79,15 @@ class QPPNet(nn.Module):
     def compile_schedule(self, graph: PlanGraph) -> CompiledSchedule:
         """The (cached) compiled execution schedule for ``graph``."""
         return self.schedules.get(graph, self.units)
+
+    def compile_level_plan(self, graphs: Sequence[PlanGraph]) -> LevelPlan:
+        """The (cached) cross-structure level-fused plan for ``graphs``.
+
+        One matmul per unit type per tree depth across *all* the given
+        structures; used by the trainer's ``fused`` engine and by
+        whole-batch serving.
+        """
+        return self.level_plans.get(graphs, self.units)
 
     def forward_group(self, group: StructureGroup) -> dict[int, nn.Tensor]:
         """Cached bottom-up evaluation of a structure group (§5.1.2).

@@ -23,7 +23,9 @@ what Figure 9a measures.
 
 Training engines
 ----------------
-Two execution engines implement the objective (``QPPNetConfig.engine``):
+Three execution engines implement the objective (``QPPNetConfig.engine``;
+only mode ``both`` honours the setting — the ablation modes always run
+taped):
 
 ``taped`` (reference)
     every forward arithmetic op records a backward closure on the
@@ -31,22 +33,32 @@ Two execution engines implement the objective (``QPPNetConfig.engine``):
     three ablation modes — ``naive``, ``batching``, ``info_sharing`` —
     *always* run taped, because their deliberately redundant computation
     is the quantity Figure 9a measures.
-``compiled`` (default, mode ``both`` only)
-    the production path: forward and backward both execute through the
-    :class:`~repro.core.compile.CompiledSchedule` over raw numpy arrays
-    with closed-form per-unit gradients (no tape, no per-op closures).
-    The per-group loss is fused — all per-operator latency outputs are
-    stacked once and the Eq. 7 sum of squared errors is one subtraction
-    plus one reduction, instead of ``n_nodes`` taped terms chained with
-    ``total + term``.  Batches come from an epoch-level
-    :class:`~repro.core.batching.PreGroupedCorpus` (grouped once,
-    row-gathered per batch), gradients accumulate in place into a
-    :class:`~repro.nn.FlatParameterSpace`, and global-norm clipping plus
-    the optimizer update run fused over the flat buffers.
+``compiled`` (mode ``both`` only)
+    per-group tape-free execution: forward and backward run through each
+    structure group's :class:`~repro.core.compile.CompiledSchedule` over
+    raw numpy arrays with closed-form per-unit gradients (no tape, no
+    per-op closures), level-fused *within* the group.  The per-group
+    loss is fused — all per-operator latency outputs are stacked once
+    and the Eq. 7 sum of squared errors is one subtraction plus one
+    reduction, instead of ``n_nodes`` taped terms chained with
+    ``total + term``.
+``fused`` (default, mode ``both`` only)
+    cross-structure level-fused execution: one
+    :class:`~repro.core.levels.LevelPlan` runs the *entire batch* — all
+    structure groups at once — with one matmul per unit type per tree
+    depth, forward and backward.  The whole-batch loss degenerates to a
+    single subtraction and dot product over the global output matrix's
+    latency column, and the backward seed is written in one shot.
 
-Both engines compute the same gradients (pinned to <= 1e-9 agreement by
+All tape-free engines share the surrounding machinery: batches come from
+an epoch-level :class:`~repro.core.batching.PreGroupedCorpus` (grouped
+once, row-gathered per batch), gradients accumulate in place into a
+:class:`~repro.nn.FlatParameterSpace`, and global-norm clipping plus the
+optimizer update run fused over the flat buffers.
+
+All engines compute the same gradients (pinned to <= 1e-9 agreement by
 ``tests/core/test_compiled_training.py``); ``benchmarks/
-test_training_throughput.py`` tracks the epoch-throughput speedup.  One
+test_training_throughput.py`` tracks the epoch-throughput speedups.  One
 semantic nuance: the fused optimizer treats parameters of units unused
 in a batch as zero-gradient (momentum keeps coasting), where the taped
 loop skips them — identical whenever every unit appears in every batch.
@@ -105,6 +117,35 @@ def _singleton(plan: VectorizedPlan) -> StructureGroup:
     )
 
 
+def _corpus_group_padder(pre_grouped: PreGroupedCorpus):
+    """Batch-group padder: align every batch to the full corpus structure list.
+
+    Random batches omit a different subset of structures each time; keyed
+    on the exact signature tuple, that would make the fused engine
+    compile (and LRU-churn) a new :class:`~repro.core.levels.LevelPlan`
+    per subset.  Padding absent structures with zero-row groups keeps the
+    signature tuple — and therefore the compiled plan, its buffers and
+    its layout cache — constant across the whole fit: zero-count blocks
+    ride through the fused forward/backward as no-ops.
+    """
+    empties = [
+        StructureGroup(g.graph, [f[:0] for f in g.features], g.labels[:0])
+        for g in pre_grouped.groups
+    ]
+    signatures = [g.graph.signature for g in pre_grouped.groups]
+
+    def pad(groups: Sequence[StructureGroup]) -> Sequence[StructureGroup]:
+        if len(groups) == len(empties):
+            return groups  # every structure present (the common case)
+        by_signature = {g.graph.signature: g for g in groups}
+        return [
+            by_signature.get(signature, empty)
+            for signature, empty in zip(signatures, empties)
+        ]
+
+    return pad
+
+
 @dataclass
 class _GroupForward:
     """One structure group's compiled forward, held until backward."""
@@ -142,9 +183,16 @@ class Trainer:
         return self._flat
 
     @property
+    def execution_engine(self) -> str:
+        """The engine ``fit`` actually runs: the configured one for mode
+        ``both``, ``"taped"`` for the ablation modes (their redundant
+        computation is the thing Figure 9a measures)."""
+        return self.config.engine if self.config.mode == "both" else "taped"
+
+    @property
     def uses_compiled_engine(self) -> bool:
-        """Whether ``fit`` runs the compiled (tape-free) training path."""
-        return self.config.engine == "compiled" and self.config.mode == "both"
+        """Whether ``fit`` runs a tape-free (compiled or fused) path."""
+        return self.execution_engine != "taped"
 
     # ------------------------------------------------------------------
     # Loss assembly
@@ -256,6 +304,52 @@ class Trainer:
         return loss
 
     # ------------------------------------------------------------------
+    # Level-fused engine (whole batch, cross-structure)
+    # ------------------------------------------------------------------
+    def fused_loss_backward(self, groups: Sequence[StructureGroup]) -> float:
+        """Eq. 7 over pre-grouped batch ``groups``, level-fused end to end.
+
+        One :class:`~repro.core.levels.LevelPlan` forward runs every
+        structure group of the batch at once (one matmul per unit type
+        per tree depth); the labels are gathered into the same global
+        row order, so the whole-batch loss is a single subtraction plus
+        one dot product, and the backward seed is one vectorized write
+        into the latency column of the global gradient buffer.  Parameter
+        gradients accumulate in place (flat-space views when the fused
+        fit loop bound them); returns the loss value.  Gradients match
+        the taped :meth:`batch_loss` + ``backward()`` to <= 1e-9.
+        """
+        plan = self.model.compile_level_plan([g.graph for g in groups])
+        run = plan.forward_training(
+            [g.features for g in groups], [g.n_plans for g in groups]
+        )
+        labels = plan.gather_node_columns([g.labels for g in groups], run.layout)
+        diff = run.out[:, 0] - labels
+        total_ops = max(1, run.layout.total_rows)
+        mse = float(diff @ diff) / total_ops
+        if self.config.loss == "rmse":
+            loss = float(np.sqrt(mse + 1e-12))
+            # d loss / d sse = d sqrt(mse+eps)/d mse * 1/total_ops
+            coeff = 0.5 / loss / total_ops
+        else:
+            loss = mse
+            coeff = 1.0 / total_ops
+        grads = plan.alloc_output_grads(run.layout)
+        np.multiply(diff, 2.0 * coeff, out=grads[:, 0])
+        plan.backward(run, grads)
+        return loss
+
+    def _fused_train_step(self, groups: Sequence[StructureGroup]) -> float:
+        """One batch: zero flat grads, level-fused loss+backward, clip, step."""
+        flat = self._ensure_flat()
+        flat.zero_grad()
+        loss = self.fused_loss_backward(groups)
+        if self.config.grad_clip:
+            flat.clip_grad_norm_(self.config.grad_clip)
+        self.optimizer.step_flat(flat)
+        return loss
+
+    # ------------------------------------------------------------------
     # Fit loop
     # ------------------------------------------------------------------
     def fit(
@@ -289,8 +383,9 @@ class Trainer:
 
         Lets callers (benchmarks, repeated fits over the same corpus)
         amortize featurization, and is the entry point that picks the
-        training engine: mode ``both`` with ``engine="compiled"`` runs
-        the tape-free compiled path over an epoch-level
+        training engine: mode ``both`` runs the configured tape-free
+        engine (``fused`` whole-batch level plans by default,
+        ``compiled`` per-group schedules) over an epoch-level
         :class:`PreGroupedCorpus`; everything else runs the taped
         reference loop.
         """
@@ -301,17 +396,22 @@ class Trainer:
             scheduler = nn.StepLR(
                 self.optimizer, self.config.lr_decay_every, self.config.lr_decay_gamma
             )
-        compiled = self.uses_compiled_engine
-        pre_grouped = PreGroupedCorpus(corpus) if compiled else None
+        tape_free = self.uses_compiled_engine
+        fused = self.execution_engine == "fused"
+        step_fn = self._fused_train_step if fused else self._compiled_train_step
+        pre_grouped = PreGroupedCorpus(corpus) if tape_free else None
+        # Fused engine: pad every batch to the corpus structure list so
+        # one LevelPlan serves the entire fit (no per-subset recompiles).
+        pad = _corpus_group_padder(pre_grouped) if fused else None
         history = TrainingHistory()
         start = time.perf_counter()
         for epoch in range(1, epochs + 1):
             epoch_losses = []
-            if compiled:
+            if tape_free:
                 for groups in pre_grouped.iter_batches(
                     self.config.batch_size, rng, pool=self._stack_pool
                 ):
-                    epoch_losses.append(self._compiled_train_step(groups))
+                    epoch_losses.append(step_fn(pad(groups) if pad else groups))
             else:
                 for batch in sample_batches(corpus, self.config.batch_size, rng):
                     loss = self.batch_loss(batch)

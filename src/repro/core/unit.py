@@ -59,22 +59,31 @@ class NeuralUnit(nn.Module):
             )
         return self.net(x)
 
-    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
-        """Tape-free forward over an already-assembled input matrix."""
+    def forward_numpy(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Tape-free forward over an already-assembled input matrix.
+
+        ``out``, when given, receives the output in place (the level-fused
+        engine points it at the unit's block of the global output matrix).
+        """
         if x.shape[-1] != self.in_features:
             raise ValueError(
                 f"{self.logical_type.value} unit expected width {self.in_features}, "
                 f"got {x.shape[-1]}"
             )
-        return self.net.forward_numpy(x)
+        return self.net.forward_numpy(x, out=out)
 
-    def forward_train(self, x: np.ndarray) -> tuple[np.ndarray, object]:
+    def forward_train(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> tuple[np.ndarray, object]:
         """Raw-numpy forward caching layer activations for ``backward_train``.
 
-        Input width is guaranteed by the :class:`~repro.core.compile.ScheduleStep`
+        Input width is guaranteed by the compiled schedule or level plan
         that assembled ``x``, so no re-validation on this hot path.
+        ``out`` is forwarded to the final affine layer.
         """
-        return self.net.forward_train(x)
+        return self.net.forward_train(x, out=out)
 
     def backward_train(
         self, grad: np.ndarray, ctx: object, need_input_grad: bool = True

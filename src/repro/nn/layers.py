@@ -152,23 +152,31 @@ class Linear(Module):
             out = out + self.bias
         return out
 
-    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+    def forward_numpy(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Tape-free forward; ``out`` targets the matmul at a caller buffer
+        (e.g. a level-fused plan's global output block) instead of a fresh
+        allocation.  ``out`` must not alias ``x``."""
         if x.shape[-1] != self.in_features:
             raise ValueError(
                 f"Linear expected input of width {self.in_features}, got {x.shape[-1]}"
             )
-        out = x @ self.weight.data
+        y = np.matmul(x, self.weight.data, out=out) if out is not None else x @ self.weight.data
         if self.bias is not None:
-            out = out + self.bias.data
-        return out
+            y += self.bias.data
+        return y
 
-    def forward_train(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def forward_train(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         # Hot path: width is guaranteed by the compiled schedule, and the
-        # fresh matmul output lets the bias add run in place.
-        out = x @ self.weight.data
+        # matmul output (fresh or the caller's block) lets the bias add
+        # run in place.
+        y = np.matmul(x, self.weight.data, out=out) if out is not None else x @ self.weight.data
         if self.bias is not None:
-            out += self.bias.data
-        return out, x
+            y += self.bias.data
+        return y, x
 
     def backward_train(
         self, grad: np.ndarray, ctx: np.ndarray, need_input_grad: bool = True
@@ -269,15 +277,30 @@ class Sequential(Module):
             x = module(x)
         return x
 
-    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
-        for module in self.modules:
+    def forward_numpy(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Tape-free forward; ``out``, when given, is forwarded to the final
+        module (which must accept it — the unit stacks built by :func:`mlp`
+        always end in a :class:`Linear`)."""
+        if out is None:
+            for module in self.modules:
+                x = module.forward_numpy(x)
+            return x
+        for module in self.modules[:-1]:
             x = module.forward_numpy(x)
-        return x
+        return self.modules[-1].forward_numpy(x, out=out)
 
-    def forward_train(self, x: np.ndarray) -> tuple[np.ndarray, list[object]]:
+    def forward_train(
+        self, x: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> tuple[np.ndarray, list[object]]:
         tape = []
-        for module in self.modules:
-            x, ctx = module.forward_train(x)
+        last = len(self.modules) - 1
+        for i, module in enumerate(self.modules):
+            if out is not None and i == last:
+                x, ctx = module.forward_train(x, out=out)
+            else:
+                x, ctx = module.forward_train(x)
             tape.append(ctx)
         return x, tape
 

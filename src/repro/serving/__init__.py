@@ -9,20 +9,28 @@ The flow inside :meth:`InferenceSession.predict_batch`:
 
 1. **featurize** — every incoming plan is mapped to its per-operator
    feature vectors (Appendix B) and its structure signature;
-2. **compile / cache** — each distinct signature resolves to a
-   :class:`~repro.core.compile.CompiledSchedule` through the model's LRU
-   :class:`~repro.core.compile.ScheduleCache`; repeated structures (the
-   common case in template workloads) never re-derive the postorder
-   schedule, unit bindings or input-slice layout;
-3. **bucket** — requests are grouped by signature and their feature
+2. **bucket** — requests are grouped by signature and their feature
    vectors stacked into per-position matrices (reused buffers, no
    per-call ``vstack`` garbage);
-4. **vectorized forward** — one tape-free pass per bucket through the
-   schedule, under :func:`repro.nn.inference_mode`;
+3. **compile / cache** — the *set* of bucket structures resolves to one
+   cross-structure :class:`~repro.core.levels.LevelPlan` through the
+   model's LRU :class:`~repro.core.levels.LevelPlanCache`; repeated
+   structure mixes (the common case in template workloads) never
+   re-derive the level schedule, unit bindings or row/slice layout;
+4. **level-fused forward** — the *whole batch* runs as one tape-free
+   pass under :func:`repro.nn.inference_mode`: one matmul per unit type
+   per tree depth across every bucket, instead of one schedule walk per
+   bucket;
 5. **scatter** — root-latency predictions are written back into request
    order, scaled to milliseconds and floored at
    :data:`~repro.core.model.MIN_PREDICTION_MS`, so the result is
    elementwise identical to calling ``model.predict`` per plan.
+
+Single-plan traffic skips all of it: :meth:`InferenceSession.predict`
+routes one plan directly through its compiled schedule's
+``run_inference`` (per-structure LRU
+:class:`~repro.core.compile.ScheduleCache`), the lowest-latency path
+when there is nothing to fuse across.
 
 :class:`ModelRegistry` manages multiple named models (in-memory or
 loaded from :func:`~repro.core.bundle.save_bundle` directories) and

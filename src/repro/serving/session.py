@@ -2,15 +2,26 @@
 
 See the package docstring of :mod:`repro.serving` for the pipeline
 overview.  A session is cheap to construct but meant to be long-lived:
-its stacking buffers and the model's schedule cache reach a steady state
-after the first few batches of a template workload, after which a
-``predict_batch`` call allocates almost nothing.
+its stacking buffers and the model's schedule/level-plan caches reach a
+steady state after the first few batches of a template workload, after
+which a ``predict_batch`` call allocates almost nothing.
+
+Two serving paths:
+
+* **whole-batch level-fused** — ``predict_batch`` buckets the request
+  batch by structure signature, featurizes each bucket, and runs *all*
+  buckets through one :class:`~repro.core.levels.LevelPlan` forward:
+  one matmul per unit type per tree depth for the entire mixed-structure
+  batch, instead of one schedule walk per bucket;
+* **direct single-plan** — ``predict`` routes one plan straight through
+  its compiled schedule's ``run_inference``, skipping the bucket /
+  stack / fuse machinery whose overhead is pure waste at batch size 1.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -33,19 +44,22 @@ class InferenceSession:
     """Vectorized ``predict_batch`` front-end for one model.
 
     Not thread-safe: a session owns mutable stacking buffers (and the
-    model's compiled schedules own assembly buffers); use one session per
-    serving thread.
+    model's compiled schedules and level plans own assembly buffers);
+    use one session per serving thread.
     """
 
-    #: LRU bound on retained stacking buffers: ad-hoc workloads with
-    #: unbounded distinct plan structures must not grow the session's
-    #: memory without limit (mirrors the model's ScheduleCache cap).
+    #: Default LRU bound on retained stacking buffers: ad-hoc workloads
+    #: with unbounded distinct plan structures must not grow the
+    #: session's memory without limit (mirrors the model's ScheduleCache
+    #: and LevelPlanCache caps).
     MAX_POOLED_BUFFERS = 1024
 
-    def __init__(self, model: QPPNet) -> None:
+    def __init__(
+        self, model: QPPNet, max_pooled_buffers: Optional[int] = MAX_POOLED_BUFFERS
+    ) -> None:
         self.model = model
         self.featurizer = model.featurizer
-        self._pool = BufferPool(max_entries=self.MAX_POOLED_BUFFERS)
+        self._pool = BufferPool(max_entries=max_pooled_buffers)
         self._widths = model.featurizer.feature_sizes()
         #: Requests served since construction (monitoring hook).
         self.requests_served = 0
@@ -54,8 +68,18 @@ class InferenceSession:
     # Public API
     # ------------------------------------------------------------------
     def predict(self, plan: PlanNode) -> float:
-        """Single-plan convenience; equivalent to ``model.predict``."""
-        return float(self.predict_batch([plan])[0])
+        """Single-plan fast path: straight through the compiled schedule.
+
+        Equivalent to ``predict_batch([plan])[0]`` but skips bucketing,
+        aligned featurization and level-plan dispatch — the per-call
+        overhead that dominates at batch size 1 (see
+        ``benchmarks/test_serving_throughput.py``).  Delegates to
+        :meth:`QPPNet.predict` (one ``run_inference`` on the plan's
+        compiled schedule) so the single-plan pipeline has one source of
+        truth.
+        """
+        self.requests_served += 1
+        return float(self.model.predict(plan))
 
     def predict_batch(self, plans: Sequence[PlanNode]) -> np.ndarray:
         """Predicted query latency (ms) per plan, in request order."""
@@ -87,29 +111,53 @@ class InferenceSession:
         return self.predict_operators_batch([plan])[0]
 
     # ------------------------------------------------------------------
-    # Bucketed execution
+    # Level-fused whole-batch execution
     # ------------------------------------------------------------------
     def _run_buckets(self, plans: Sequence[PlanNode]):
-        """Yield ``(bucket, {position -> (B, d+1) outputs})`` per signature."""
+        """Yield ``(bucket, {position -> (B, d+1) outputs})`` per signature.
+
+        The entire request batch runs as *one* level-fused forward: all
+        buckets' graphs compile into a shared
+        :class:`~repro.core.levels.LevelPlan` (cached on the model by the
+        signature tuple) and every unit type × tree depth is one stacked
+        matmul across all buckets.  The yielded outputs are row-slice
+        views of the plan's global output matrix, valid until the next
+        forward on the same plan — i.e. for the duration of the caller's
+        scatter loop.
+        """
         buckets: dict[str, _Bucket] = {}
         for index, plan in enumerate(plans):
             signature = plan.structure_signature()
             bucket = buckets.get(signature)
             if bucket is None:
-                # The full graph (and its compiled schedule) is derived
+                # The full graph (and the shared level plan) is derived
                 # from the bucket's first plan only; structure-equal
                 # plans reuse it.
                 bucket = buckets[signature] = _Bucket(plan_graph(plan), [], [])
             bucket.indices.append(index)
             bucket.nodes.append(list(plan.preorder()))
-        for signature, bucket in buckets.items():
-            schedule = self.model.compile_schedule(bucket.graph)
-            stacked = self._featurize_bucket(signature, bucket)
-            # The tape flag is scoped around the forward only (never held
-            # across a yield): run_inference is numpy throughout, but any
-            # custom module falling back to taped forward stays tape-free.
-            with nn.inference_mode():
-                outputs = schedule.run_inference(stacked)
+        if not buckets:
+            return
+        # Canonical (sorted-by-signature) bucket order: matches the order
+        # group_by_structure/PreGroupedCorpus produce, so serving and
+        # training share cached level plans for the same structure mix.
+        ordered = [buckets[signature] for signature in sorted(buckets)]
+        level_plan = self.model.compile_level_plan([b.graph for b in ordered])
+        features = [
+            self._featurize_bucket(bucket.graph.signature, bucket)
+            for bucket in ordered
+        ]
+        counts = [len(bucket.indices) for bucket in ordered]
+        # The tape flag is scoped around the forward only (never held
+        # across a yield): the fused forward is numpy throughout, but any
+        # custom module falling back to taped forward stays tape-free.
+        with nn.inference_mode():
+            run = level_plan.forward_inference(features, counts)
+        for gi, bucket in enumerate(ordered):
+            outputs = {
+                pos: run.out[level_plan.node_slice(run.layout, gi, pos)]
+                for pos in range(bucket.graph.n_nodes)
+            }
             yield bucket, outputs
 
     def _featurize_bucket(self, signature: str, bucket: _Bucket) -> list[np.ndarray]:

@@ -1,9 +1,12 @@
-"""Compiled (tape-free) training engine vs. the taped reference.
+"""Compiled and level-fused (tape-free) training engines vs. the taped
+reference.
 
-The compiled path — ``CompiledSchedule.forward_training``/``backward``
-with the fused vectorized loss and ``PreGroupedCorpus`` batching — must
-compute the *same* gradients as the taped autodiff it replaces.  These
-tests pin that equivalence at <= 1e-9 and check the engine end to end.
+The tape-free paths — per-group ``CompiledSchedule.forward_training`` /
+``backward`` and the cross-structure ``LevelPlan`` behind the trainer's
+``fused`` engine — must compute the *same* gradients as the taped
+autodiff they replace.  These tests pin that equivalence at <= 1e-9
+(including a property-style sweep over random plan structures and
+depths) and check both engines end to end.
 """
 
 import numpy as np
@@ -11,6 +14,9 @@ import pytest
 
 from repro import nn
 from repro.core import (
+    CompiledSchedule,
+    LevelPlan,
+    PlanGraph,
     PreGroupedCorpus,
     QPPNet,
     QPPNetConfig,
@@ -18,8 +24,10 @@ from repro.core import (
     group_by_structure,
     vectorize_corpus,
 )
+from repro.core.unit import NeuralUnit
 from repro.featurize import Featurizer
 from repro.nn.gradcheck import numerical_gradient
+from repro.plans.operators import LogicalType
 from repro.workload import Workbench
 
 GRAD_TOL = 1e-9
@@ -78,7 +86,30 @@ class TestGradientEquivalence:
         assert abs(taped_loss.item() - compiled_loss) <= GRAD_TOL
         assert _max_grad_diff(model, taped) <= GRAD_TOL
 
-    def test_compiled_matches_taped_with_flat_binding(self, corpus, featurizer):
+    @pytest.mark.parametrize("loss", ["mse", "rmse"])
+    def test_fused_matches_taped(self, corpus, featurizer, loss):
+        """The cross-structure level-fused engine computes the taped loss
+        and gradients (one matmul per unit type per depth or not)."""
+        config = tiny_config(loss=loss)
+        model = QPPNet(featurizer, config)
+        trainer = Trainer(model, config)
+        vec = vectorize_corpus(corpus, featurizer)
+
+        model.zero_grad()
+        taped_loss = trainer.batch_loss(vec)
+        taped_loss.backward()
+        taped = _grad_snapshot(model)
+
+        model.zero_grad()
+        fused_loss = trainer.fused_loss_backward(group_by_structure(vec))
+
+        assert abs(taped_loss.item() - fused_loss) <= GRAD_TOL
+        assert _max_grad_diff(model, taped) <= GRAD_TOL
+
+    @pytest.mark.parametrize("engine_loss", ["compiled_loss_backward", "fused_loss_backward"])
+    def test_tape_free_matches_taped_with_flat_binding(
+        self, corpus, featurizer, engine_loss
+    ):
         """Equivalence must also hold when grads land in flat-space views."""
         config = tiny_config()
         model = QPPNet(featurizer, config)
@@ -91,8 +122,58 @@ class TestGradientEquivalence:
 
         flat = trainer._ensure_flat()
         flat.zero_grad()
-        trainer.compiled_loss_backward(group_by_structure(vec))
+        getattr(trainer, engine_loss)(group_by_structure(vec))
         assert _max_grad_diff(model, taped) <= GRAD_TOL
+
+    def test_fused_padded_batch_matches_subset(self, corpus, featurizer):
+        """Zero-row padding to the corpus structure list (what the fused
+        fit loop does to keep one LevelPlan per fit) must not change the
+        loss or any gradient."""
+        from repro.core.trainer import _corpus_group_padder
+
+        config = tiny_config()
+        model = QPPNet(featurizer, config)
+        trainer = Trainer(model, config)
+        vec = vectorize_corpus(corpus, featurizer)
+        pre = PreGroupedCorpus(vec)
+        subset = pre.gather(np.arange(0, len(vec), 3))
+        padded = _corpus_group_padder(pre)(subset)
+        assert len(padded) == pre.n_structures
+        assert len(subset) < len(padded)  # some structures really absent
+        assert any(g.n_plans == 0 for g in padded)
+
+        model.zero_grad()
+        subset_loss = trainer.fused_loss_backward(subset)
+        reference = _grad_snapshot(model)
+
+        model.zero_grad()
+        padded_loss = trainer.fused_loss_backward(padded)
+        assert abs(subset_loss - padded_loss) <= GRAD_TOL
+        assert _max_grad_diff(model, reference) <= GRAD_TOL
+
+    def test_fused_fit_compiles_one_level_plan(self, corpus, featurizer):
+        """Small random batches omit structures; padding must keep the
+        level-plan cache at a single entry for the whole fit."""
+        config = tiny_config(epochs=2, batch_size=4)
+        model = QPPNet(featurizer, config)
+        Trainer(model, config).fit(corpus)
+        assert len(model.level_plans) == 1
+
+    def test_backward_rejects_foreign_seed_buffers(self, corpus, featurizer):
+        """CompiledSchedule.backward requires the alloc_output_grads views
+        (they alias the global gradient buffer the level plan walks)."""
+        config = tiny_config()
+        model = QPPNet(featurizer, config)
+        vec = vectorize_corpus(corpus, featurizer)
+        group = group_by_structure(vec)[0]
+        schedule = model.compile_schedule(group.graph)
+        _, tape = schedule.forward_training(group.features)
+        foreign = [
+            np.zeros((group.n_plans, model.config.data_size + 1))
+            for _ in range(schedule.n_nodes)
+        ]
+        with pytest.raises(ValueError):
+            schedule.backward(tape, foreign)
 
     def test_compiled_gradients_match_numerical(self, corpus, featurizer):
         """gradcheck the compiled path itself against central differences."""
@@ -121,7 +202,9 @@ class TestGradientEquivalence:
         assert checked > 0
 
     def test_leaf_fusion_present(self, corpus, featurizer):
-        """The workload has multi-scan plans, so fusion must engage."""
+        """The workload has multi-scan plans, so level-0 fusion must engage
+        (the generalization of the former FusedLeafGroup: leaves are just
+        depth-0 level steps)."""
         config = tiny_config()
         model = QPPNet(featurizer, config)
         vec = vectorize_corpus(corpus, featurizer)
@@ -131,11 +214,135 @@ class TestGradientEquivalence:
                    if not kids) >= 2
         )
         schedule = model.compile_schedule(multi_scan.graph)
-        assert schedule.fused_leaves
-        fused = {pos for fl in schedule.fused_leaves for pos in fl.positions}
-        solo = {s.pos for s in schedule._solo_steps}
-        assert fused | solo == set(range(schedule.n_nodes))
-        assert not fused & solo
+        leaf_steps = [s for s in schedule.levels.steps if s.level == 0]
+        assert any(len(s.entries) >= 2 for s in leaf_steps)
+        # Every position belongs to exactly one level step.
+        seen = [e.pos for s in schedule.levels.steps for e in s.entries]
+        assert sorted(seen) == list(range(schedule.n_nodes))
+        # Leaves are exactly the level-0 entries.
+        leaves = {pos for pos, kids in enumerate(multi_scan.graph.children) if not kids}
+        assert {e.pos for s in leaf_steps for e in s.entries} == leaves
+
+
+_UNARY_TYPES = (
+    LogicalType.SORT,
+    LogicalType.HASH,
+    LogicalType.AGGREGATE,
+    LogicalType.MATERIALIZE,
+    LogicalType.LIMIT,
+)
+
+
+def _random_graph(rng: np.random.Generator, max_depth: int) -> PlanGraph:
+    """A random plan tree in preorder, honouring each type's arity."""
+    types: list[LogicalType] = []
+    children: list[tuple[int, ...]] = []
+
+    def build(depth: int) -> int:
+        idx = len(types)
+        types.append(LogicalType.SCAN)
+        children.append(())
+        if depth >= max_depth or rng.random() < 0.35:
+            return idx  # leaf scan
+        if rng.random() < 0.45:
+            types[idx] = LogicalType.JOIN
+            children[idx] = (build(depth + 1), build(depth + 1))
+        else:
+            types[idx] = _UNARY_TYPES[int(rng.integers(len(_UNARY_TYPES)))]
+            children[idx] = (build(depth + 1),)
+        return idx
+
+    build(0)
+    post: list[int] = []
+
+    def walk(idx: int) -> None:
+        for child in children[idx]:
+            walk(child)
+        post.append(idx)
+
+    walk(0)
+    signature = repr([(t.value, kids) for t, kids in zip(types, children)])
+    return PlanGraph(signature, tuple(types), tuple(children), tuple(post))
+
+
+class TestRandomStructureEquivalence:
+    """Property-style sweep over random plan structures, depths and batch
+    sizes: the level-fused forward latencies and parameter gradients must
+    match the taped reference at <= 1e-9."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fused_matches_taped_random_structures(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        data_size = int(rng.integers(2, 5))
+        units = {
+            lt: NeuralUnit(
+                lt,
+                feature_size=int(rng.integers(1, 6)),
+                data_size=data_size,
+                hidden_layers=int(rng.integers(0, 3)),
+                neurons=int(rng.integers(4, 9)),
+                rng=rng,
+            )
+            for lt in LogicalType
+        }
+        graphs = [
+            _random_graph(rng, max_depth=int(rng.integers(1, 5)))
+            for _ in range(int(rng.integers(1, 4)))
+        ]
+        counts = [int(rng.integers(1, 6)) for _ in graphs]
+        features = [
+            [rng.standard_normal((b, units[t].feature_size)) for t in g.types]
+            for g, b in zip(graphs, counts)
+        ]
+        labels = [rng.standard_normal((b, g.n_nodes)) for g, b in zip(graphs, counts)]
+        total_ops = sum(b * g.n_nodes for g, b in zip(graphs, counts))
+
+        # Taped reference: per-group schedules, autodiff backward, the
+        # trainer's mse objective.
+        for unit in units.values():
+            unit.zero_grad()
+        total = None
+        taped_forward = {}
+        for gi, (graph, feats, labs) in enumerate(zip(graphs, features, labels)):
+            outputs = CompiledSchedule(graph, units).run_training(feats)
+            for pos in range(graph.n_nodes):
+                taped_forward[(gi, pos)] = outputs[pos].data.copy()
+                diff = outputs[pos][:, :1] - nn.Tensor(labs[:, pos : pos + 1])
+                term = (diff * diff).sum()
+                total = term if total is None else total + term
+        taped_loss = total * (1.0 / total_ops)
+        taped_loss.backward()
+        taped_grads = {
+            (lt, name): (p.grad.copy() if p.grad is not None else np.zeros_like(p.data))
+            for lt, unit in units.items()
+            for name, p in unit.named_parameters()
+        }
+
+        # Level-fused: one stacked forward/backward across all graphs.
+        for unit in units.values():
+            unit.zero_grad()
+        plan = LevelPlan(graphs, units)
+        run = plan.forward_training(features, counts)
+        flat_labels = plan.gather_node_columns(labels, run.layout)
+        diff = run.out[:, 0] - flat_labels
+        fused_loss = float(diff @ diff) / total_ops
+        grads = plan.alloc_output_grads(run.layout)
+        np.multiply(diff, 2.0 / total_ops, out=grads[:, 0])
+        plan.backward(run, grads)
+
+        assert abs(taped_loss.item() - fused_loss) <= GRAD_TOL
+        for gi, graph in enumerate(graphs):
+            for pos in range(graph.n_nodes):
+                fused_out = run.out[plan.node_slice(run.layout, gi, pos)]
+                assert np.max(np.abs(fused_out - taped_forward[(gi, pos)])) <= GRAD_TOL
+        worst = max(
+            float(np.max(np.abs(taped_grads[(lt, name)] - (
+                p.grad if p.grad is not None else np.zeros_like(p.data)
+            ))))
+            for lt, unit in units.items()
+            for name, p in unit.named_parameters()
+        )
+        assert worst <= GRAD_TOL
 
 
 class TestPreGroupedCorpus:
@@ -179,13 +386,25 @@ class TestPreGroupedCorpus:
 
 
 class TestCompiledFit:
-    def test_compiled_engine_selected(self, featurizer):
-        config = tiny_config(mode="both", engine="compiled")
+    def test_engine_selection(self, featurizer):
+        config = tiny_config(mode="both")  # default engine
         trainer = Trainer(QPPNet(featurizer, config), config)
+        assert trainer.execution_engine == "fused"
         assert trainer.uses_compiled_engine
+        for engine in ("fused", "compiled"):
+            config = tiny_config(mode="both", engine=engine)
+            trainer = Trainer(QPPNet(featurizer, config), config)
+            assert trainer.execution_engine == engine
+            assert trainer.uses_compiled_engine
+        config = tiny_config(mode="both", engine="taped")
+        trainer = Trainer(QPPNet(featurizer, config), config)
+        assert trainer.execution_engine == "taped"
+        assert not trainer.uses_compiled_engine
+        # Ablation modes always run taped, whatever the engine says.
         for mode in ("naive", "batching", "info_sharing"):
             config = tiny_config(mode=mode)
             trainer = Trainer(QPPNet(featurizer, config), config)
+            assert trainer.execution_engine == "taped"
             assert not trainer.uses_compiled_engine
 
     def test_invalid_engine_rejected(self):
@@ -200,8 +419,8 @@ class TestCompiledFit:
 
     def test_engines_same_trajectory_full_batch(self, corpus, featurizer):
         """With full-corpus batches every unit is used every step, where
-        the loop and fused optimizer semantics coincide — the two engines
-        must then produce near-identical training trajectories."""
+        the loop and fused optimizer semantics coincide — all three
+        engines must then produce near-identical training trajectories."""
 
         def run(engine):
             config = tiny_config(epochs=4, batch_size=len(corpus), engine=engine)
@@ -211,7 +430,9 @@ class TestCompiledFit:
 
         taped = run("taped")
         compiled = run("compiled")
+        fused = run("fused")
         assert taped == pytest.approx(compiled, rel=1e-6)
+        assert taped == pytest.approx(fused, rel=1e-6)
 
     def test_compiled_fit_with_lr_decay_and_adam(self, corpus, featurizer):
         config = tiny_config(optimizer="adam", lr_decay_every=1, lr_decay_gamma=0.5, epochs=2)

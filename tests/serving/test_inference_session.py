@@ -83,13 +83,20 @@ class TestScheduleCache:
 
     def test_cache_hit_statistics(self, model, corpus):
         model.schedules.clear()
+        model.level_plans.clear()
         session = InferenceSession(model)
         plans = [s.plan for s in corpus]
+        # Whole-batch serving compiles one level plan per structure mix.
         session.predict_batch(plans)
-        n_structures = len({p.structure_signature() for p in plans})
-        assert model.schedules.misses == n_structures
+        assert model.level_plans.misses == 1
         session.predict_batch(plans)
-        assert model.schedules.misses == n_structures  # all warm now
+        assert model.level_plans.misses == 1  # warm now
+        assert model.level_plans.hits == 1
+        # The single-plan fast path goes through per-structure schedules.
+        session.predict(plans[0])
+        assert model.schedules.misses == 1
+        session.predict(plans[0])
+        assert model.schedules.misses == 1  # warm now
 
     def test_lru_eviction(self, model, corpus):
         from repro.core import ScheduleCache
