@@ -3,7 +3,9 @@
 from .bundle import load_bundle, save_bundle
 from .batching import (
     BufferPool,
+    PlanBucket,
     PlanGraph,
+    bucket_plans,
     PreGroupedCorpus,
     StructureGroup,
     VectorizedPlan,
@@ -33,6 +35,8 @@ __all__ = [
     "save_bundle",
     "load_bundle",
     "PlanGraph",
+    "PlanBucket",
+    "bucket_plans",
     "VectorizedPlan",
     "StructureGroup",
     "plan_graph",

@@ -107,6 +107,49 @@ class StructureGroup:
         return self.labels.size
 
 
+@dataclass
+class PlanBucket:
+    """Structure-equal plans composed out of one (possibly ad-hoc) batch.
+
+    Unlike :class:`StructureGroup` — which carries pre-featurized, stacked
+    matrices for training — a bucket is the *composition* step only: it
+    records which positions of the incoming request order share a
+    structure, plus each member's preorder node list, so the caller can
+    featurize and scatter however it likes.  This is the unit the serving
+    tier coalesces independently submitted plans into.
+    """
+
+    graph: PlanGraph
+    indices: list[int]  # positions in the incoming request order
+    nodes: list[list[PlanNode]]  # per request: plan nodes in preorder
+
+    @property
+    def n_plans(self) -> int:
+        return len(self.indices)
+
+
+def bucket_plans(plans: Sequence[PlanNode]) -> list[PlanBucket]:
+    """Compose independently submitted plans into per-structure buckets.
+
+    The returned buckets are in canonical sorted-by-signature order — the
+    same order :func:`group_by_structure` and :class:`PreGroupedCorpus`
+    produce — so serving and training resolve to the *same* cached
+    cross-structure level plan for the same structure mix, no matter how
+    the requests arrived.  Within a bucket, members keep arrival order.
+    """
+    buckets: dict[str, PlanBucket] = {}
+    for index, plan in enumerate(plans):
+        signature = plan.structure_signature()
+        bucket = buckets.get(signature)
+        if bucket is None:
+            # The full graph (and the shared level plan) is derived from
+            # the bucket's first plan only; structure-equal plans reuse it.
+            bucket = buckets[signature] = PlanBucket(plan_graph(plan), [], [])
+        bucket.indices.append(index)
+        bucket.nodes.append(list(plan.preorder()))
+    return [buckets[signature] for signature in sorted(buckets)]
+
+
 class BufferPool:
     """Reusable stacking buffers, keyed by the caller (hot-path allocs).
 

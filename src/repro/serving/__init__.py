@@ -1,43 +1,62 @@
-"""Batched model serving: the compile / cache / bucket / scatter pipeline.
+"""Model serving, service-first: requests in, fused batches underneath.
 
-This package is the inference-side counterpart of the paper's §5.1 batch
-training: it exploits shared plan structure at *serving* time, so a
-heavy stream of prediction requests costs one vectorized forward pass
-per distinct plan shape instead of one tree walk per plan.
+The paper pitches QPP as an online primitive — admission control,
+resource management — so the production entry point of this package is
+request-shaped, not batch-shaped.  Three tiers, top to bottom:
 
-The flow inside :meth:`InferenceSession.predict_batch`:
+1. :class:`PredictionService` — **the documented production API.**
+   Callers :meth:`~PredictionService.submit` individual plans (from any
+   number of threads) and get :class:`Prediction` futures back; a
+   coalescing loop drains the bounded queue on a micro-batch window
+   (``max_batch_size`` / ``max_wait_ms``) and executes each coalesced
+   mixed-structure batch as ONE level-fused forward.  The service owns
+   model routing (a name per request, resolved through a
+   :class:`ModelRegistry`, hot-swappable under traffic), backpressure
+   (bounded queue + admission hook, rejecting with typed
+   :class:`~repro.serving.service.ServiceError` subclasses), clean
+   start/stop draining semantics, and a :meth:`~PredictionService.stats`
+   snapshot (queue depth, coalesced batch sizes, p50/p99 latency).
 
-1. **featurize** — every incoming plan is mapped to its per-operator
-   feature vectors (Appendix B) and its structure signature;
-2. **bucket** — requests are grouped by signature and their feature
-   vectors stacked into per-position matrices (reused buffers, no
-   per-call ``vstack`` garbage);
-3. **compile / cache** — the *set* of bucket structures resolves to one
-   cross-structure :class:`~repro.core.levels.LevelPlan` through the
-   model's LRU :class:`~repro.core.levels.LevelPlanCache`; repeated
-   structure mixes (the common case in template workloads) never
-   re-derive the level schedule, unit bindings or row/slice layout;
-4. **level-fused forward** — the *whole batch* runs as one tape-free
-   pass under :func:`repro.nn.inference_mode`: one matmul per unit type
-   per tree depth across every bucket, instead of one schedule walk per
-   bucket;
-5. **scatter** — root-latency predictions are written back into request
-   order, scaled to milliseconds and floored at
-   :data:`~repro.core.model.MIN_PREDICTION_MS`, so the result is
-   elementwise identical to calling ``model.predict`` per plan.
+2. :class:`InferenceSession` — the synchronous building block the
+   service drains into.  ``predict_batch`` featurizes, buckets by
+   structure signature (via :func:`repro.core.batching.bucket_plans`),
+   compiles/caches, runs the whole batch tape-free and scatters results
+   back to request order; ``predict`` is the direct single-plan
+   shortcut.  Sessions are single-threaded by design — the service's
+   drain loop is their serialization point.
 
-Single-plan traffic skips all of it: :meth:`InferenceSession.predict`
-routes one plan directly through its compiled schedule's
-``run_inference`` (per-structure LRU
-:class:`~repro.core.compile.ScheduleCache`), the lowest-latency path
-when there is nothing to fuse across.
+3. :class:`~repro.core.levels.LevelPlan` (in ``repro.core``) — the
+   fused execution tier both of the above bottom out in: one matmul per
+   unit type per tree depth across every structure bucket, identical
+   numerics to per-plan ``model.predict`` at <= 1e-9.
 
-:class:`ModelRegistry` manages multiple named models (in-memory or
-loaded from :func:`~repro.core.bundle.save_bundle` directories) and
-hands out one long-lived session per model.
+:class:`ModelRegistry` manages the named models behind all of it
+(in-memory or loaded from :func:`~repro.core.bundle.save_bundle`
+directories), one long-lived warmed session per model.
 """
 
 from .registry import ModelRegistry
+from .service import (
+    AdmissionRejected,
+    Prediction,
+    PredictionService,
+    QueueFullError,
+    ServiceError,
+    ServiceStats,
+    ServiceStoppedError,
+    UnknownModelError,
+)
 from .session import InferenceSession
 
-__all__ = ["InferenceSession", "ModelRegistry"]
+__all__ = [
+    "PredictionService",
+    "Prediction",
+    "ServiceStats",
+    "ServiceError",
+    "QueueFullError",
+    "AdmissionRejected",
+    "ServiceStoppedError",
+    "UnknownModelError",
+    "InferenceSession",
+    "ModelRegistry",
+]

@@ -1,0 +1,565 @@
+"""Request-centric serving: futures, micro-batch coalescing, model routing.
+
+:class:`InferenceSession.predict_batch` is batch-shaped — the caller must
+already hold a list of plans.  Production traffic is not: queries arrive
+one at a time on many threads, and every single-plan call forfeits the
+level-fused batch path.  :class:`PredictionService` closes that gap.
+Callers ``submit(plan)`` (or ``submit_many``) and get back a
+:class:`Prediction` — a future-like handle — while a background
+coalescing loop drains the queue on a micro-batch window
+(``max_batch_size`` / ``max_wait_ms``) and runs each coalesced
+mixed-structure batch through ONE fused forward via the routed model's
+session.  Independently submitted plans thus share matmuls exactly as if
+one caller had batched them by hand.
+
+The service owns the operational surface around that loop:
+
+* **routing** — requests name a model in a :class:`ModelRegistry`
+  (``submit(plan, model="shadow")``); resolution happens per executed
+  batch, so re-registering a name hot-swaps the model under live
+  traffic.  Unknown names fail at submit time with
+  :class:`UnknownModelError`.
+* **backpressure** — the queue is bounded (``max_queue_depth``); an
+  overfull queue rejects with :class:`QueueFullError`, and an optional
+  ``admission_hook`` can shed load earlier (reject → typed
+  :class:`AdmissionRejected` at the submit site, never a dropped
+  future).
+* **lifecycle** — ``start`` / ``stop(drain=True)`` (or the context
+  manager): stop refuses new submits with :class:`ServiceStoppedError`,
+  then either drains in-flight requests to completion or fails them
+  fast (``drain=False``).
+* **observability** — :meth:`PredictionService.stats` snapshots queue
+  depth, coalesced batch sizes and p50/p99 request latency from a
+  rolling window.
+
+One worker thread serves all models: sessions are deliberately
+single-threaded (mutable stacking buffers), so the coalescing loop is
+also the serialization point that makes concurrent submitters safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.model import QPPNet
+from repro.plans.node import PlanNode
+
+from .registry import ModelRegistry
+from .session import InferenceSession
+
+#: Registry name used when the service wraps a bare model / session.
+DEFAULT_MODEL_NAME = "default"
+
+#: Sample-window size for the latency / batch-size percentile estimates.
+STATS_WINDOW = 4096
+
+
+# ----------------------------------------------------------------------
+# Typed errors
+# ----------------------------------------------------------------------
+class ServiceError(RuntimeError):
+    """Base class for every PredictionService failure mode."""
+
+
+class QueueFullError(ServiceError):
+    """Backpressure: the bounded request queue is at ``max_queue_depth``."""
+
+    def __init__(self, depth: int) -> None:
+        super().__init__(f"request queue is full ({depth} pending)")
+        self.depth = depth
+
+
+class AdmissionRejected(ServiceError):
+    """The service's ``admission_hook`` refused the request."""
+
+
+class ServiceStoppedError(ServiceError):
+    """The service is stopped (or was stopped before this request ran)."""
+
+
+class UnknownModelError(ServiceError, LookupError):
+    """The request routed to a model name the registry does not hold."""
+
+    def __init__(self, name: str, known: Sequence[str]) -> None:
+        super().__init__(
+            f"no model named {name!r} is registered (have: {sorted(known)})"
+        )
+        self.name = name
+
+
+# ----------------------------------------------------------------------
+# The future-like request handle
+# ----------------------------------------------------------------------
+class Prediction:
+    """Future-like handle for one submitted plan.
+
+    ``result()`` blocks until the coalescing loop has executed the batch
+    containing this request, then returns the predicted latency in ms
+    (or raises the failure that hit the request — a typed
+    :class:`ServiceError` or whatever the forward pass raised).  Handles
+    are created by the service; callers only read them.
+    """
+
+    __slots__ = (
+        "plan",
+        "model",
+        "submitted_at",
+        "batch_size",
+        "_event",
+        "_value",
+        "_error",
+        "_completed_at",
+    )
+
+    def __init__(self, plan: PlanNode, model: str, submitted_at: float) -> None:
+        self.plan = plan
+        #: Registry name the request routes to.
+        self.model = model
+        #: ``time.monotonic()`` at admission.
+        self.submitted_at = submitted_at
+        #: Size of the fused forward this request executed in — its
+        #: model's share of the coalesced batch (set on completion; how
+        #: much fusion the request actually got).
+        self.batch_size: Optional[int] = None
+        self._event = threading.Event()
+        self._value: float = float("nan")
+        self._error: Optional[BaseException] = None
+        self._completed_at: Optional[float] = None
+
+    # -- concurrent.futures-style surface ------------------------------
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> float:
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"prediction not ready after {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"prediction not ready after {timeout}s")
+        return self._error
+
+    @property
+    def latency_ms(self) -> Optional[float]:
+        """Submit-to-completion wall time in ms (``None`` until done)."""
+        if self._completed_at is None:
+            return None
+        return (self._completed_at - self.submitted_at) * 1e3
+
+    # -- service-side completion ---------------------------------------
+    def _complete(self, value: float, batch_size: int, now: float) -> None:
+        self._value = value
+        self.batch_size = batch_size
+        self._completed_at = now
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._completed_at = time.monotonic()
+        self._event.set()
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return f"Prediction(model={self.model!r}, {state})"
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Point-in-time operational snapshot (see ``PredictionService.stats``)."""
+
+    queue_depth: int
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    batches: int
+    mean_batch_size: float
+    max_batch_size: int
+    p50_latency_ms: float
+    p99_latency_ms: float
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+#: Admission hook signature: ``(plan, model name, queue depth) -> admit?``.
+AdmissionHook = Callable[[PlanNode, str, int], bool]
+
+
+class PredictionService:
+    """Request-oriented front-end over one or many inference sessions.
+
+    Parameters
+    ----------
+    target:
+        What to serve: a :class:`ModelRegistry` (multi-model routing), or
+        a bare :class:`QPPNet` / :class:`InferenceSession` which is
+        wrapped in a private registry under :data:`DEFAULT_MODEL_NAME`.
+    default_model:
+        Route for ``submit(plan)`` calls that name no model.  Defaults to
+        the registry's sole name when it holds exactly one model.
+    max_batch_size:
+        Hard cap on one coalesced batch; the drain loop takes a batch as
+        soon as this many requests are pending.
+    max_wait_ms:
+        Micro-batch window: after the first request of a batch arrives,
+        how long the drain loop lingers for more before executing.  ``0``
+        disables coalescing latency entirely (drain whatever is queued).
+    max_queue_depth:
+        Bounded-queue backpressure limit; beyond it ``submit`` raises
+        :class:`QueueFullError`.
+    admission_hook:
+        Optional load-shedding predicate ``(plan, model, queue_depth) ->
+        bool`` run at the submit site, outside the service lock (it may
+        freely call :meth:`stats`); ``False`` raises
+        :class:`AdmissionRejected` before the request ever queues.
+    """
+
+    def __init__(
+        self,
+        target: Union[ModelRegistry, InferenceSession, QPPNet],
+        *,
+        default_model: Optional[str] = None,
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+        max_queue_depth: int = 4096,
+        admission_hook: Optional[AdmissionHook] = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if isinstance(target, ModelRegistry):
+            self.registry = target
+        else:
+            session = (
+                target
+                if isinstance(target, InferenceSession)
+                else InferenceSession(target)
+            )
+            self.registry = ModelRegistry()
+            self.registry.register_session(DEFAULT_MODEL_NAME, session)
+            if default_model is None:
+                default_model = DEFAULT_MODEL_NAME
+        if default_model is None and len(self.registry) == 1:
+            default_model = self.registry.names()[0]
+        self.default_model = default_model
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.max_queue_depth = max_queue_depth
+        self.admission_hook = admission_hook
+
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._queue: deque[Prediction] = deque()
+        self._stopping = False
+        self._stopped = False
+        self._settled = threading.Event()  # every pre-stop request resolved
+        self._worker: Optional[threading.Thread] = None
+
+        # Counters + rolling sample windows, all guarded by self._lock.
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._batches = 0
+        self._batch_sizes: deque[int] = deque(maxlen=STATS_WINDOW)
+        self._latencies_ms: deque[float] = deque(maxlen=STATS_WINDOW)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "PredictionService":
+        """Start the coalescing drain loop (idempotent until stopped)."""
+        with self._lock:
+            if self._stopping or self._stopped:
+                raise ServiceStoppedError("service already stopped; build a new one")
+            if self._worker is None:
+                self._worker = threading.Thread(
+                    target=self._drain_loop, name="qpp-prediction-service", daemon=True
+                )
+                self._worker.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting requests, then settle every pending one.
+
+        ``drain=True`` executes everything still queued (the coalescing
+        window is skipped — shutdown drains at full batch size);
+        ``drain=False`` fails queued requests with
+        :class:`ServiceStoppedError` instead.  Idempotent, and safe to
+        race: the first stopper's ``drain`` choice wins, and every
+        ``stop`` call — whichever thread made it — returns only once all
+        pre-stop requests are settled (or ``timeout`` expires).
+        """
+        with self._lock:
+            first_stopper = not self._stopping
+            self._stopping = True
+            if first_stopper and not drain:
+                abandoned = list(self._queue)
+                self._queue.clear()
+                self._failed += len(abandoned)
+            else:
+                abandoned = []
+            worker, self._worker = self._worker, None
+            self._not_empty.notify_all()
+        for request in abandoned:
+            request._fail(ServiceStoppedError("service stopped before execution"))
+        if not first_stopper:
+            # Another thread owns the shutdown; just wait for it to
+            # settle every pending request (never while holding the lock).
+            self._settled.wait(timeout)
+            return
+        if worker is not None:
+            worker.join(timeout)
+        worker_gone = worker is None or not worker.is_alive()
+        if drain and worker_gone:
+            # Settle whatever no worker will ever get to — the service was
+            # never started, or the join timed out after the worker died.
+            # Only the first stopper drains (and only once the worker is
+            # provably gone), so the single-threaded sessions never see
+            # two executors.
+            while True:
+                with self._lock:
+                    take = min(self.max_batch_size, len(self._queue))
+                    batch = [self._queue.popleft() for _ in range(take)]
+                if not batch:
+                    break
+                self._safe_execute(batch)
+        with self._lock:
+            self._stopped = True
+        if worker_gone:
+            # If the join timed out with the worker still draining, it is
+            # the worker that signals settlement when it exits.
+            self._settled.set()
+
+    @property
+    def running(self) -> bool:
+        return self._worker is not None and not self._stopping
+
+    def __enter__(self) -> "PredictionService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop(drain=True)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, plan: PlanNode, model: Optional[str] = None) -> Prediction:
+        """Admit one plan; returns its :class:`Prediction` handle.
+
+        Admission is synchronous and typed: routing, backpressure and the
+        admission hook all reject *here* (the returned handle, once you
+        hold one, can only fail through execution itself).  Requests may
+        be submitted before :meth:`start`; they queue until the drain
+        loop runs.
+        """
+        return self.submit_many([plan], model=model)[0]
+
+    def submit_many(
+        self, plans: Sequence[PlanNode], model: Optional[str] = None
+    ) -> list[Prediction]:
+        """Admit a burst of plans atomically (all-or-nothing).
+
+        One lock acquisition admits the whole burst, so no caller is left
+        holding handles for half an admitted burst: if the queue cannot
+        take ``len(plans)`` more requests, or the admission hook refuses
+        any member, the typed error is raised and *nothing* queues.
+        """
+        if not plans:
+            return []
+        if self._stopping or self._stopped:
+            # Checked before routing and the admission hook so a stopped
+            # service reports itself as stopped — never as a routing
+            # failure or transient load-shedding a client would retry.
+            # (Unlocked read; the authoritative re-check runs under the
+            # lock below.)
+            raise ServiceStoppedError("service is stopped")
+        name = model if model is not None else self.default_model
+        if name is None:
+            raise UnknownModelError("<default>", self.registry.names())
+        if name not in self.registry:
+            raise UnknownModelError(name, self.registry.names())
+        if self.admission_hook is not None:
+            # Outside the service lock: the hook may inspect the service
+            # itself (stats(), queue state) without deadlocking, and a
+            # slow hook never stalls the drain loop or other submitters.
+            # The depth it sees is therefore a snapshot; the hard bound
+            # is enforced under the lock below.
+            depth = len(self._queue)
+            for plan in plans:
+                if not self.admission_hook(plan, name, depth):
+                    with self._lock:
+                        self._rejected += len(plans)
+                    raise AdmissionRejected(
+                        f"admission hook rejected request for model {name!r} "
+                        f"(burst of {len(plans)}, queue depth {depth})"
+                    )
+        with self._lock:
+            if self._stopping or self._stopped:
+                raise ServiceStoppedError("service is stopped")
+            depth = len(self._queue)
+            if depth + len(plans) > self.max_queue_depth:
+                self._rejected += len(plans)
+                raise QueueFullError(depth)
+            now = time.monotonic()
+            requests = [Prediction(plan, name, now) for plan in plans]
+            self._queue.extend(requests)
+            self._submitted += len(requests)
+            self._not_empty.notify()
+        return requests
+
+    def predict(self, plan: PlanNode, model: Optional[str] = None) -> float:
+        """Convenience: ``submit`` + blocking ``result()``.
+
+        One call still benefits from coalescing with *other* callers'
+        in-flight requests, which is the whole point of the service.
+        """
+        return self.submit(plan, model=model).result()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Consistent snapshot of counters and rolling percentiles."""
+        with self._lock:
+            sizes = list(self._batch_sizes)
+            latencies = list(self._latencies_ms)
+            queue_depth = len(self._queue)
+            submitted, completed = self._submitted, self._completed
+            failed, rejected, batches = self._failed, self._rejected, self._batches
+        p50, p99 = 0.0, 0.0
+        if latencies:
+            p50, p99 = (float(v) for v in np.percentile(latencies, [50, 99]))
+        return ServiceStats(
+            queue_depth=queue_depth,
+            submitted=submitted,
+            completed=completed,
+            failed=failed,
+            rejected=rejected,
+            batches=batches,
+            mean_batch_size=float(np.mean(sizes)) if sizes else 0.0,
+            max_batch_size=max(sizes) if sizes else 0,
+            p50_latency_ms=p50,
+            p99_latency_ms=p99,
+        )
+
+    # ------------------------------------------------------------------
+    # The coalescing drain loop (worker thread)
+    # ------------------------------------------------------------------
+    def _drain_loop(self) -> None:
+        while True:
+            with self._not_empty:
+                while not self._queue and not self._stopping:
+                    self._not_empty.wait()
+                if not self._queue:
+                    # Stopping and fully drained: settlement is this
+                    # thread's to announce when a stop() join timed out.
+                    self._settled.set()
+                    return
+                if not self._stopping and self.max_wait_ms > 0:
+                    # Micro-batch window: linger after the first arrival
+                    # so concurrent submitters coalesce into one fused
+                    # forward.  Cut short by a full batch or by stop().
+                    # Anchored at the oldest request's arrival, not this
+                    # thread's wake-up: requests that queued while the
+                    # previous batch executed don't pay a fresh window.
+                    deadline = self._queue[0].submitted_at + self.max_wait_ms / 1e3
+                    while len(self._queue) < self.max_batch_size and not self._stopping:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._not_empty.wait(remaining)
+                take = min(self.max_batch_size, len(self._queue))
+                if take == 0:
+                    # Raced a drain=False stop that cleared the queue while
+                    # we lingered in the window; re-check state from the top
+                    # rather than record a phantom empty batch.
+                    continue
+                batch = [self._queue.popleft() for _ in range(take)]
+            self._safe_execute(batch)
+
+    def _safe_execute(self, batch: list[Prediction]) -> None:
+        """Last-resort containment: the drain loop must survive anything.
+
+        ``_execute`` forwards per-model failures to their handles, but a
+        defect outside those guards (or a malformed duck-typed session)
+        must not kill the worker — that would strand every pending
+        future and hang ``stop()``.  Whatever escapes fails the batch's
+        unfinished requests and the loop carries on.
+        """
+        try:
+            self._execute(batch)
+        except BaseException as error:  # noqa: BLE001 — forwarded to callers
+            pending = [r for r in batch if not r.done()]
+            with self._lock:
+                self._failed += len(pending)
+            for request in pending:
+                request._fail(error)
+
+    def _execute(self, batch: list[Prediction]) -> None:
+        """Run one coalesced batch: one fused forward per routed model.
+
+        Stats are committed *before* each request's event fires, so a
+        caller who awaits its handles and then reads :meth:`stats` always
+        sees the batch that produced its results.
+        """
+        with self._lock:
+            self._batches += 1
+            self._batch_sizes.append(len(batch))
+        by_model: dict[str, list[Prediction]] = {}
+        for request in batch:
+            by_model.setdefault(request.model, []).append(request)
+        for name, requests in by_model.items():
+            try:
+                # Resolved per batch, not per request: this is the
+                # hot-swap point — a re-registered name takes effect on
+                # the next executed batch.
+                session = self.registry.session(name)
+            except KeyError:
+                failure: Optional[BaseException] = UnknownModelError(
+                    name, self.registry.names()
+                )
+            else:
+                try:
+                    # float() per value also validates the return shape of
+                    # duck-typed sessions: scalars or ragged rows raise in
+                    # here and fail the group, never the worker.
+                    raw = session.predict_batch([r.plan for r in requests])
+                    values = [float(v) for v in raw]
+                    if len(values) != len(requests):
+                        raise ServiceError(
+                            f"model {name!r} session returned {len(values)} "
+                            f"predictions for {len(requests)} plans"
+                        )
+                    failure = None
+                except BaseException as error:  # noqa: BLE001 — forwarded to callers
+                    # Forwarded verbatim: a KeyError out of featurization
+                    # is an application error, not a routing error.
+                    failure = error
+            if failure is not None:
+                with self._lock:
+                    self._failed += len(requests)
+                for request in requests:
+                    request._fail(failure)
+                continue
+            now = time.monotonic()
+            with self._lock:
+                self._completed += len(requests)
+                self._latencies_ms.extend(
+                    (now - request.submitted_at) * 1e3 for request in requests
+                )
+            for request, value in zip(requests, values):
+                request._complete(value, len(requests), now)

@@ -20,24 +20,14 @@ Two serving paths:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro import nn
-from repro.core.batching import BufferPool, PlanGraph, plan_graph
+from repro.core.batching import BufferPool, PlanBucket, bucket_plans
 from repro.core.model import MIN_PREDICTION_MS, QPPNet
 from repro.plans.node import PlanNode
-
-
-@dataclass
-class _Bucket:
-    """Requests sharing one structure signature within a batch."""
-
-    graph: PlanGraph
-    indices: list[int]  # positions in the incoming request order
-    nodes: list[list[PlanNode]]  # per request: plan nodes in preorder
 
 
 class InferenceSession:
@@ -82,7 +72,15 @@ class InferenceSession:
         return float(self.model.predict(plan))
 
     def predict_batch(self, plans: Sequence[PlanNode]) -> np.ndarray:
-        """Predicted query latency (ms) per plan, in request order."""
+        """Predicted query latency (ms) per plan, in request order.
+
+        An empty batch returns an empty array immediately, without
+        touching the compile caches or the stacking-buffer pool — the
+        coalescing service may race a drain against a final submit and
+        legitimately hand us nothing.
+        """
+        if not plans:
+            return np.empty(0)
         out = np.empty(len(plans))
         for bucket, outputs in self._run_buckets(plans):
             scale = self.featurizer.latency_scale_ms
@@ -93,6 +91,8 @@ class InferenceSession:
 
     def predict_operators_batch(self, plans: Sequence[PlanNode]) -> list[list[float]]:
         """Per-operator latencies (ms, preorder) per plan, request order."""
+        if not plans:
+            return []
         results: list[list[float]] = [[] for _ in plans]
         for bucket, outputs in self._run_buckets(plans):
             scale = self.featurizer.latency_scale_ms
@@ -125,23 +125,10 @@ class InferenceSession:
         forward on the same plan — i.e. for the duration of the caller's
         scatter loop.
         """
-        buckets: dict[str, _Bucket] = {}
-        for index, plan in enumerate(plans):
-            signature = plan.structure_signature()
-            bucket = buckets.get(signature)
-            if bucket is None:
-                # The full graph (and the shared level plan) is derived
-                # from the bucket's first plan only; structure-equal
-                # plans reuse it.
-                bucket = buckets[signature] = _Bucket(plan_graph(plan), [], [])
-            bucket.indices.append(index)
-            bucket.nodes.append(list(plan.preorder()))
-        if not buckets:
-            return
         # Canonical (sorted-by-signature) bucket order: matches the order
         # group_by_structure/PreGroupedCorpus produce, so serving and
         # training share cached level plans for the same structure mix.
-        ordered = [buckets[signature] for signature in sorted(buckets)]
+        ordered = bucket_plans(plans)  # callers guarantee plans is non-empty
         level_plan = self.model.compile_level_plan([b.graph for b in ordered])
         features = [
             self._featurize_bucket(bucket.graph.signature, bucket)
@@ -160,7 +147,7 @@ class InferenceSession:
             }
             yield bucket, outputs
 
-    def _featurize_bucket(self, signature: str, bucket: _Bucket) -> list[np.ndarray]:
+    def _featurize_bucket(self, signature: str, bucket: PlanBucket) -> list[np.ndarray]:
         """Column-vectorized ``F(op)`` matrices per position of a bucket.
 
         All positions sharing a logical type are featurized in one

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core import (
     BufferPool,
+    bucket_plans,
     group_by_structure,
     plan_graph,
     sample_batches,
@@ -17,11 +18,41 @@ from repro.workload import Workbench
 
 
 @pytest.fixture(scope="module")
-def vectorized():
+def samples():
     wb = Workbench("tpch", seed=0)
-    samples = wb.generate(44, rng=np.random.default_rng(2))
+    return wb.generate(44, rng=np.random.default_rng(2))
+
+
+@pytest.fixture(scope="module")
+def vectorized(samples):
     featurizer = Featurizer().fit([s.plan for s in samples])
     return vectorize_corpus(samples, featurizer)
+
+
+class TestBucketPlans:
+    """Composition of independently submitted plans (serving tier)."""
+
+    def test_partition_and_arrival_order(self, samples):
+        plans = [s.plan for s in samples]
+        buckets = bucket_plans(plans)
+        seen = sorted(i for b in buckets for i in b.indices)
+        assert seen == list(range(len(plans)))
+        for bucket in buckets:
+            assert bucket.indices == sorted(bucket.indices)  # arrival order
+            assert bucket.n_plans == len(bucket.nodes)
+            for index, nodes in zip(bucket.indices, bucket.nodes):
+                assert nodes == list(plans[index].preorder())
+                assert plans[index].structure_signature() == bucket.graph.signature
+
+    def test_canonical_order_matches_group_by_structure(self, samples, vectorized):
+        """Serving and training must resolve the same structure mix to the
+        same (cached) level plan: identical signature order."""
+        bucket_order = [b.graph.signature for b in bucket_plans([s.plan for s in samples])]
+        group_order = [g.graph.signature for g in group_by_structure(vectorized)]
+        assert bucket_order == group_order
+
+    def test_empty(self):
+        assert bucket_plans([]) == []
 
 
 class TestGrouping:

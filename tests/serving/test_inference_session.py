@@ -58,6 +58,19 @@ class TestBatchAgreement:
         plan = corpus[0].plan
         assert session.predict(plan) == pytest.approx(model.predict(plan), abs=1e-9)
         assert session.predict_batch([]).shape == (0,)
+        assert session.predict_operators_batch([]) == []
+
+    def test_empty_batch_never_touches_compile_caches(self, model):
+        """The empty fast path must not compile, cache or pool anything —
+        the coalescing service can legitimately drain nothing."""
+        model.schedules.clear()
+        model.level_plans.clear()
+        session = InferenceSession(model)
+        assert session.predict_batch([]).shape == (0,)
+        assert session.predict_operators_batch([]) == []
+        assert model.level_plans.hits == model.level_plans.misses == 0
+        assert model.schedules.hits == model.schedules.misses == 0
+        assert len(session._pool) == 0
 
     def test_repeated_calls_are_stable(self, session, corpus):
         """Buffer reuse must not leak state across predict_batch calls."""
@@ -143,7 +156,24 @@ class TestModelRegistry:
 
     def test_unregister(self, model):
         registry = ModelRegistry()
-        registry.register("m", model)
-        registry.unregister("m")
+        session = registry.register("m", model)
+        retired = registry.unregister("m")
+        assert retired is session  # handed back for draining
         assert "m" not in registry
         assert len(registry) == 0
+
+    def test_register_session_installs_prewarmed(self, model, corpus):
+        """A warmed session hot-swaps in with its caches intact."""
+        warmed = InferenceSession(model)
+        warmed.predict_batch([s.plan for s in corpus[:8]])
+        registry = ModelRegistry()
+        registry.register_session("m", warmed)
+        assert registry.session("m") is warmed
+        assert registry.model("m") is model  # model follows the session
+
+    def test_register_replaces_session(self, model):
+        registry = ModelRegistry()
+        first = registry.register("m", model)
+        second = registry.register("m", model)  # hot-swap same name
+        assert first is not second
+        assert registry.session("m") is second
