@@ -19,23 +19,32 @@ serving target.  Three measurements:
   hand-batched ``predict_batch`` plans/s, with bounded p99 queue
   latency recorded alongside.
 
-All three are recorded in ``BENCH_serving.json`` (override the path via
-the ``BENCH_SERVING_JSON`` env var) so CI can archive the serving perf
-trajectory next to the training numbers.
+A fourth measurement (ISSUE 5) serves the same workload from a
+``QPPNetConfig(dtype="float32")`` model: the fused forward itself must
+gain >= ``BENCH_F32_MIN_SPEEDUP`` (default 1.3, measured ~1.6-1.7x;
+featurization is dtype-independent Python, so the end-to-end batch gain
+is smaller and recorded unguarded), predictions must agree with the float64 reference
+to <= 1e-4 relative (denominator floored at 1% of the latency scale),
+and the coalescing ``PredictionService`` path is benchmarked in float32
+with its throughput ratio and p50/p99 latency.
+
+All sections are recorded in ``BENCH_serving.json`` (override the path
+via the ``BENCH_SERVING_JSON`` env var) so CI can archive the serving
+perf trajectory next to the training numbers.
 
 Run:  python -m pytest benchmarks/test_serving_throughput.py -s
 """
 
-import json
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
-from pathlib import Path
 
 import numpy as np
 import pytest
 
+from conftest import update_bench_json
 from repro.core import QPPNet, QPPNetConfig
+from repro.evaluation import precision_agreement_gap
 from repro.featurize import Featurizer
 from repro.serving import InferenceSession, PredictionService
 from repro.workload import Workbench
@@ -45,6 +54,8 @@ REQUIRED_SPEEDUP = 5.0
 SINGLE_PLAN_CALLS = 64
 SUBMITTER_THREADS = 4
 SERVICE_MIN_RATIO = float(os.environ.get("BENCH_SERVICE_MIN_RATIO", "0.7"))
+REQUIRED_F32_SPEEDUP = float(os.environ.get("BENCH_F32_MIN_SPEEDUP", "1.3"))
+F32_REL_TOL = 1e-4
 
 
 @pytest.fixture(scope="module")
@@ -65,18 +76,9 @@ def _best_of(fn, repeats=3):
     return best
 
 
-def _update_bench(section: str, values: dict) -> Path:
+def _update_bench(section: str, values: dict):
     """Merge one section into BENCH_serving.json (tests run independently)."""
-    out_path = Path(os.environ.get("BENCH_SERVING_JSON", "BENCH_serving.json"))
-    record = {"benchmark": "serving_throughput"}
-    if out_path.exists():
-        try:
-            record = json.loads(out_path.read_text())
-        except json.JSONDecodeError:
-            pass
-    record[section] = values
-    out_path.write_text(json.dumps(record, indent=2) + "\n")
-    return out_path
+    return update_bench_json("BENCH_SERVING_JSON", "BENCH_serving.json", section, values)
 
 
 def test_batched_inference_throughput(workload):
@@ -253,4 +255,149 @@ def test_service_concurrent_arrivals(workload):
     # Bounded tail latency: p99 must stay within one coalescing window
     # plus a small multiple of the fused execution time (generous slack
     # for CI scheduling noise).
+    assert stats.p99_latency_ms <= 2.0 + 10.0 * (whole_batch_s * 1e3)
+
+
+@pytest.fixture(scope="module")
+def workload_f32(workload):
+    model64, plans = workload
+    model32 = QPPNet(model64.featurizer, QPPNetConfig(dtype="float32"))
+    return model64, model32, plans
+
+
+def test_float32_batched_inference(workload_f32):
+    """float32 vs float64 whole-batch serving: fused-forward speedup
+    (gated), end-to-end speedup (recorded) and prediction agreement."""
+    from repro.core.batching import bucket_plans
+
+    model64, model32, plans = workload_f32
+    session64, session32 = InferenceSession(model64), InferenceSession(model32)
+    reference = session64.predict_batch(plans)  # also warms f64
+    f32_preds = session32.predict_batch(plans)  # warms f32
+    scale = model64.featurizer.latency_scale_ms
+    agreement = precision_agreement_gap(f32_preds, reference, scale)
+
+    e2e_64_s = _best_of(lambda: session64.predict_batch(plans))
+    e2e_32_s = _best_of(lambda: session32.predict_batch(plans))
+
+    # Forward-only: pre-featurize once, time the fused LevelPlan pass —
+    # the component float32 actually accelerates (featurization is
+    # dtype-independent Python and dominates end to end).
+    def forward_timer(model, session):
+        ordered = bucket_plans(plans)
+        level_plan = model.compile_level_plan([b.graph for b in ordered])
+        features = [
+            session._featurize_bucket(b.graph.signature, b) for b in ordered
+        ]
+        counts = [len(b.indices) for b in ordered]
+        return lambda: level_plan.forward_inference(features, counts)
+
+    fwd_64_s = _best_of(forward_timer(model64, session64), repeats=5)
+    fwd_32_s = _best_of(forward_timer(model32, session32), repeats=5)
+    fwd_speedup = fwd_64_s / fwd_32_s
+    e2e_speedup = e2e_64_s / e2e_32_s
+
+    out_path = _update_bench(
+        "dtype",
+        {
+            "n_plans": N_PLANS,
+            "float64_batch_s": round(e2e_64_s, 4),
+            "float32_batch_s": round(e2e_32_s, 4),
+            "float64_plans_per_s": round(N_PLANS / e2e_64_s, 1),
+            "float32_plans_per_s": round(N_PLANS / e2e_32_s, 1),
+            "end_to_end_speedup": round(e2e_speedup, 3),
+            "forward_float64_ms": round(fwd_64_s * 1e3, 3),
+            "forward_float32_ms": round(fwd_32_s * 1e3, 3),
+            "forward_speedup": round(fwd_speedup, 2),
+            "required_forward_speedup": REQUIRED_F32_SPEEDUP,
+            "max_rel_diff": agreement,
+            "rel_tol": F32_REL_TOL,
+        },
+    )
+
+    print(
+        f"\n[float32 serving] {N_PLANS} plans\n"
+        f"  f64 batch (e2e)   : {e2e_64_s:.4f}s  ({N_PLANS / e2e_64_s:8.0f} plans/s)\n"
+        f"  f32 batch (e2e)   : {e2e_32_s:.4f}s  ({N_PLANS / e2e_32_s:8.0f} plans/s)\n"
+        f"  e2e speedup       : {e2e_speedup:.2f}x  (featurization-bound, recorded only)\n"
+        f"  fused forward     : {fwd_64_s*1e3:.2f}ms -> {fwd_32_s*1e3:.2f}ms "
+        f"({fwd_speedup:.2f}x, required >= {REQUIRED_F32_SPEEDUP:.2f}x)\n"
+        f"  max rel |diff|    : {agreement:.2e}  (required <= {F32_REL_TOL:.0e})\n"
+        f"  -> {out_path}"
+    )
+
+    assert agreement <= F32_REL_TOL
+    # Only the fused compute is gated: the end-to-end number is
+    # featurization-bound and recorded unguarded, as documented above.
+    assert fwd_speedup >= REQUIRED_F32_SPEEDUP
+
+
+def test_float32_service_throughput(workload_f32):
+    """The PredictionService path in float32: concurrent submitters vs a
+    hand-batched float32 caller, with p50/p99 latency recorded and
+    predictions pinned to the float64 reference at <= 1e-4 relative."""
+    model64, model32, plans = workload_f32
+    session32 = InferenceSession(model32)
+    reference64 = InferenceSession(model64).predict_batch(plans)
+    session32.predict_batch(plans)  # warm
+    whole_batch_s = _best_of(lambda: session32.predict_batch(plans))
+    scale = model64.featurizer.latency_scale_ms
+
+    shards = [list(range(t, N_PLANS, SUBMITTER_THREADS)) for t in range(SUBMITTER_THREADS)]
+    with PredictionService(
+        session32,
+        max_batch_size=N_PLANS,
+        max_wait_ms=5.0,
+        max_queue_depth=2 * N_PLANS,
+    ) as service:
+
+        def submit_shard(shard):
+            handles = [(i, service.submit(plans[i])) for i in shard]
+            return [(i, h.result(timeout=60)) for i, h in handles]
+
+        def run_once():
+            with ThreadPoolExecutor(SUBMITTER_THREADS) as pool:
+                return [row for out in pool.map(submit_shard, shards) for row in out]
+
+        run_once()  # warm
+        service_s = _best_of(run_once)
+        results = run_once()
+        stats = service.stats()
+
+    got = np.empty(N_PLANS)
+    for i, value in results:
+        got[i] = value
+    agreement = precision_agreement_gap(got, reference64, scale)
+    ratio = whole_batch_s / service_s
+
+    out_path = _update_bench(
+        "dtype_service",
+        {
+            "n_plans": N_PLANS,
+            "submitter_threads": SUBMITTER_THREADS,
+            "dtype": "float32",
+            "whole_batch_s": round(whole_batch_s, 4),
+            "service_s": round(service_s, 4),
+            "service_plans_per_s": round(N_PLANS / service_s, 1),
+            "throughput_ratio": round(ratio, 3),
+            "required_ratio": SERVICE_MIN_RATIO,
+            "mean_coalesced_batch": round(stats.mean_batch_size, 1),
+            "p50_latency_ms": round(stats.p50_latency_ms, 3),
+            "p99_latency_ms": round(stats.p99_latency_ms, 3),
+            "max_rel_diff_vs_f64": agreement,
+        },
+    )
+
+    print(
+        f"\n[float32 service] {N_PLANS} plans, {SUBMITTER_THREADS} submitter threads\n"
+        f"  hand-batched f32  : {whole_batch_s:.4f}s  ({N_PLANS / whole_batch_s:8.0f} plans/s)\n"
+        f"  service f32       : {service_s:.4f}s  ({N_PLANS / service_s:8.0f} plans/s)\n"
+        f"  ratio             : {ratio:.2f}x  (required >= {SERVICE_MIN_RATIO:.2f}x)\n"
+        f"  request latency   : p50 {stats.p50_latency_ms:.2f}ms  p99 {stats.p99_latency_ms:.2f}ms\n"
+        f"  max rel |diff| vs f64: {agreement:.2e}  (required <= {F32_REL_TOL:.0e})\n"
+        f"  -> {out_path}"
+    )
+
+    assert agreement <= F32_REL_TOL
+    assert ratio >= SERVICE_MIN_RATIO
     assert stats.p99_latency_ms <= 2.0 + 10.0 * (whole_batch_s * 1e3)

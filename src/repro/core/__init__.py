@@ -16,7 +16,7 @@ from .batching import (
     vectorize_plan,
 )
 from .compile import CompiledSchedule, ScheduleCache, ScheduleStep
-from .config import TRAINING_ENGINES, TRAINING_MODES, QPPNetConfig
+from .config import COMPUTE_DTYPES, TRAINING_ENGINES, TRAINING_MODES, QPPNetConfig
 from .levels import LevelPlan, LevelPlanCache, LevelRun, LevelStep
 from .model import MIN_PREDICTION_MS, QPPNet
 from .trainer import Trainer, TrainingHistory, train_qppnet
@@ -26,6 +26,7 @@ __all__ = [
     "QPPNetConfig",
     "TRAINING_MODES",
     "TRAINING_ENGINES",
+    "COMPUTE_DTYPES",
     "NeuralUnit",
     "QPPNet",
     "MIN_PREDICTION_MS",

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Optional, Sequence
 
 import numpy as np
@@ -38,12 +39,24 @@ class PlanGraph:
     def n_nodes(self) -> int:
         return len(self.types)
 
+    @cached_property
+    def heights(self) -> tuple[int, ...]:
+        """Subtree height per position (0 for leaves), memoized.
+
+        One iterative postorder pass (children are visited before their
+        parents, so each node is O(arity)) — the same height assignment
+        the level-fused compiler buckets steps by.
+        """
+        height = [0] * self.n_nodes
+        for pos in self.postorder:
+            kids = self.children[pos]
+            if kids:
+                height[pos] = 1 + max(height[k] for k in kids)
+        return tuple(height)
+
     def depth_of(self, pos: int) -> int:
         """Subtree depth below ``pos`` (1 for leaves)."""
-        kids = self.children[pos]
-        if not kids:
-            return 1
-        return 1 + max(self.depth_of(k) for k in kids)
+        return self.heights[pos] + 1
 
 
 def plan_graph(root: PlanNode) -> PlanGraph:
@@ -166,19 +179,39 @@ class BufferPool:
     ad-hoc workload with unbounded distinct plan structures — cannot
     grow without limit.  Evicted buffers still referenced by a live
     batch stay valid (ordinary refcounting); only the pool forgets them.
+
+    The pool is dtype-aware: ``dtype`` sets the default allocation
+    precision (a float32 model's buffers are float32 end to end), a
+    per-call ``take(..., dtype=...)`` overrides it, and a cached buffer
+    of the wrong dtype is replaced rather than handed out — a key can
+    never silently serve the wrong precision.
     """
 
-    def __init__(self, max_entries: Optional[int] = None) -> None:
+    def __init__(
+        self, max_entries: Optional[int] = None, dtype: np.dtype = np.float64
+    ) -> None:
         if max_entries is not None and max_entries <= 0:
             raise ValueError("max_entries must be positive (or None)")
         self.max_entries = max_entries
+        self.dtype = np.dtype(dtype)
         self._buffers: OrderedDict[object, np.ndarray] = OrderedDict()
 
-    def take(self, key: object, shape: tuple[int, int]) -> np.ndarray:
+    def take(
+        self,
+        key: object,
+        shape: tuple[int, int],
+        dtype: Optional[np.dtype] = None,
+    ) -> np.ndarray:
         rows, width = shape
+        dtype = self.dtype if dtype is None else np.dtype(dtype)
         buffer = self._buffers.get(key)
-        if buffer is None or buffer.shape[0] < rows or buffer.shape[1] != width:
-            buffer = np.empty((rows, width))
+        if (
+            buffer is None
+            or buffer.shape[0] < rows
+            or buffer.shape[1] != width
+            or buffer.dtype != dtype
+        ):
+            buffer = np.empty((rows, width), dtype=dtype)
             self._buffers[key] = buffer
         if self.max_entries is not None:
             self._buffers.move_to_end(key)
@@ -199,6 +232,9 @@ def _stack_rows(
     width = rows[0].shape[-1]
     if pool is None:
         return np.vstack(rows)
+    # The pool's default dtype decides the stacked precision: float64
+    # per-plan rows written into a float32 pool cast on write, so the
+    # batch matrices come out in the model's compute dtype directly.
     out = pool.take(key, (len(rows), width))
     for i, row in enumerate(rows):
         out[i] = row
@@ -236,7 +272,9 @@ def _gather_rows(
     """Row-gather ``src[rows]`` into a pooled buffer (one fancy-index op)."""
     if pool is None:
         return src[rows]
-    out = pool.take(key, (len(rows), src.shape[1]))
+    # Match the source dtype exactly (np.take's out= requires it); the
+    # pre-stacked corpus matrices already carry the compute dtype.
+    out = pool.take(key, (len(rows), src.shape[1]), dtype=src.dtype)
     np.take(src, rows, axis=0, out=out)
     return out
 
@@ -257,11 +295,20 @@ class PreGroupedCorpus:
     uniform random subsets of the whole corpus (a fresh permutation per
     epoch), and grouping happens *within* each batch.  Only the mechanics
     of building the per-batch :class:`StructureGroup`\\ s changed.
+
+    ``dtype`` is the precision the stacked matrices are stored in.
+    Casting once at construction means every per-batch row-gather — and
+    everything downstream of it: assembly, matmuls, loss — runs in the
+    compute dtype with no per-batch conversion.
     """
 
-    def __init__(self, plans: Sequence[VectorizedPlan]) -> None:
+    def __init__(
+        self, plans: Sequence[VectorizedPlan], dtype: np.dtype = np.float64
+    ) -> None:
         if not plans:
             raise ValueError("PreGroupedCorpus requires at least one plan")
+        dtype = np.dtype(dtype)
+        self.dtype = dtype
         buckets: dict[str, list[int]] = {}
         for i, plan in enumerate(plans):
             buckets.setdefault(plan.graph.signature, []).append(i)
@@ -274,10 +321,14 @@ class PreGroupedCorpus:
             members = buckets[signature]
             graph = plans[members[0]].graph
             features = [
-                np.stack([plans[i].features[p] for i in members])
+                np.stack([plans[i].features[p] for i in members]).astype(
+                    dtype, copy=False
+                )
                 for p in range(graph.n_nodes)
             ]
-            labels = np.stack([plans[i].labels for i in members])
+            labels = np.stack([plans[i].labels for i in members]).astype(
+                dtype, copy=False
+            )
             for row, i in enumerate(members):
                 self._group_of[i] = gid
                 self._row_of[i] = row

@@ -41,6 +41,28 @@ per-batch work than the one before:
 :class:`ScheduleCache` is the LRU signature cache in front of
 compilation; in template workloads the handful of distinct structures
 means steady-state serving never re-derives a schedule.
+
+Precision tiers
+---------------
+Orthogonal to the three *execution* tiers, every engine runs at one of
+two *compute* precisions, fixed by ``QPPNetConfig.dtype``:
+
+* ``"float64"`` (default) — the numerical reference.  The <= 1e-9
+  tape-pinning guarantees above are float64 statements, and a float64
+  model is what the float32 tier is property-tested against.
+* ``"float32"`` — the recommended production precision.  The schedule
+  and level-plan machinery is dtype-transparent: assembly buffers,
+  stacked matmuls, the fused Eq. 7 loss, gradient scatters and the flat
+  optimizer state all adopt the units' dtype, so a float32 model runs
+  the whole train/serve hot path with no float64 temporaries and no
+  per-batch casts (features are cast once — at corpus pre-grouping for
+  training, inside ``transform_aligned(out=)`` for serving).  Expect
+  the measured speedups in ``BENCH_training.json``/``BENCH_serving.json``
+  (``dtype`` sections); agreement with the float64 reference is
+  <= 1e-4 relative on predictions.
+
+Pick float64 when bit-level reproducibility or gradient debugging
+matters; pick float32 for throughput-sensitive training and serving.
 """
 
 from __future__ import annotations

@@ -133,15 +133,19 @@ class LevelPlan:
         if len(widths) != 1:
             raise ValueError("all units must share one output width (d+1)")
         self.width = widths.pop()
-        # Level (subtree height) per position, then bucket every
-        # (graph, pos) by (level, unit type): one bucket = one step.
+        dtypes = {units[t].dtype for g in self.graphs for t in g.types}
+        if len(dtypes) != 1:
+            raise ValueError(
+                f"all units must share one compute dtype, got {sorted(map(str, dtypes))}"
+            )
+        #: Compute precision of every pooled buffer (matches the units').
+        self.dtype = dtypes.pop()
+        # Level (subtree height, memoized on the graph) per position, then
+        # bucket every (graph, pos) by (level, unit type): one bucket =
+        # one step.
         buckets: dict[tuple[int, str], list[tuple[int, int]]] = {}
         for gi, graph in enumerate(self.graphs):
-            height = [0] * graph.n_nodes
-            for pos in graph.postorder:
-                kids = graph.children[pos]
-                if kids:
-                    height[pos] = 1 + max(height[k] for k in kids)
+            height = graph.heights
             for pos, ltype in enumerate(graph.types):
                 buckets.setdefault((height[pos], ltype.value), []).append((gi, pos))
         ordered = sorted(buckets.items())
@@ -181,8 +185,15 @@ class LevelPlan:
         self.roots: tuple[int, ...] = tuple(
             self.node_of[gi][0] for gi in range(len(self.graphs))
         )
-        self._buffers = BufferPool()
+        self._buffers = BufferPool(dtype=self.dtype)
         self._layouts: OrderedDict[tuple[int, ...], LevelLayout] = OrderedDict()
+        # Per layout (keyed by its counts vector): one fancy-index array
+        # per graph for node-column gathers.  Built lazily on the first
+        # gather — serving-only layouts never pay for it — and bounded
+        # like the layout memo it shadows.
+        self._gather_idx: OrderedDict[
+            tuple[int, ...], tuple[np.ndarray, ...]
+        ] = OrderedDict()
 
     @property
     def n_graphs(self) -> int:
@@ -369,15 +380,34 @@ class LevelPlan:
 
         Used to line the training labels up against ``run.out[:, 0]`` so
         the whole-batch Eq. 7 loss is one subtraction and one dot
-        product.  Returns a ``(total_rows,)`` view of a pooled buffer.
+        product.  Returns a ``(total_rows,)`` view of a pooled buffer
+        (in the plan's compute dtype — float64 label matrices cast on
+        write).  One fancy-index assignment per graph through memoized
+        destination indices, not a per-position loop: graph ``gi``'s
+        ``(B, n_nodes)`` matrix flattens position-major, and each
+        position's destination is its node's contiguous block.
         """
+        gather = self._gather_idx.get(layout.counts)
+        if gather is None:
+            gather = tuple(
+                (
+                    np.fromiter(
+                        (layout.starts[node] for node in node_ids),
+                        dtype=np.intp,
+                        count=len(node_ids),
+                    )[:, None]
+                    + np.arange(layout.counts[gi], dtype=np.intp)
+                ).reshape(-1)
+                for gi, node_ids in enumerate(self.node_of)
+            )
+            self._gather_idx[layout.counts] = gather
+            while len(self._gather_idx) > self.MAX_CACHED_LAYOUTS:
+                self._gather_idx.popitem(last=False)
+        else:
+            self._gather_idx.move_to_end(layout.counts)
         flat = self._buffers.take("columns", (layout.total_rows, 1))[:, 0]
         for gi, matrix in enumerate(columns):
-            node_ids = self.node_of[gi]
-            for pos in range(matrix.shape[1]):
-                node = node_ids[pos]
-                start = layout.starts[node]
-                flat[start : start + layout.rows[node]] = matrix[:, pos]
+            flat[gather[gi]] = matrix.T.reshape(-1)
         return flat
 
 

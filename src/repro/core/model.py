@@ -57,6 +57,7 @@ class QPPNet(nn.Module):
                 self.config.neurons,
                 rng=rng,
                 activation=self.config.activation,
+                dtype=self.config.np_dtype,
             )
         # Compile-once execution: schedules are derived per structure
         # signature and reused by training and serving alike.
@@ -127,7 +128,13 @@ class QPPNet(nn.Module):
     def predict_operators(self, plan: PlanNode) -> list[float]:
         """Predicted latency (ms) of every operator, preorder-indexed."""
         schedule = self.compile_schedule(plan_graph(plan))
-        features = [f.reshape(1, -1) for f in self.featurizer.transform_plan(plan)]
+        # Cast features to the compute dtype up front so the schedule's
+        # matmuls never promote back to float64 on a float32 model.
+        dtype = self.config.np_dtype
+        features = [
+            np.asarray(f, dtype=dtype).reshape(1, -1)
+            for f in self.featurizer.transform_plan(plan)
+        ]
         outputs = schedule.run_inference(features)
         scale = self.featurizer.latency_scale_ms
         return [

@@ -109,11 +109,15 @@ class TrainingHistory:
         return self.train_loss[-1] if self.train_loss else float("nan")
 
 
-def _singleton(plan: VectorizedPlan) -> StructureGroup:
+def _singleton(plan: VectorizedPlan, dtype: np.dtype) -> StructureGroup:
+    # Cast to the compute dtype here (a no-copy pass-through for the
+    # float64 default): per-plan ablation modes bypass the stacking pool
+    # that casts for the batched modes, and a float32 model must not
+    # silently promote its taped forward back to float64.
     return StructureGroup(
         plan.graph,
-        [f.reshape(1, -1) for f in plan.features],
-        plan.labels.reshape(1, -1),
+        [np.asarray(f, dtype=dtype).reshape(1, -1) for f in plan.features],
+        np.asarray(plan.labels, dtype=dtype).reshape(1, -1),
     )
 
 
@@ -172,7 +176,9 @@ class Trainer:
         # each batch's graph is consumed by backward() before the next
         # batch is assembled).  Capped so corpora with very many distinct
         # structures do not pin one buffer per (signature, position).
-        self._stack_pool = BufferPool(max_entries=4096)
+        # Allocated in the compute dtype: float64 per-plan rows cast on
+        # write, so batch matrices enter the engines in-model precision.
+        self._stack_pool = BufferPool(max_entries=4096, dtype=self.config.np_dtype)
         # Flat parameter/gradient storage for the compiled engine,
         # created on first compiled fit (rebinds param.data to views).
         self._flat: Optional[nn.FlatParameterSpace] = None
@@ -231,7 +237,7 @@ class Trainer:
         if mode in ("both", "batching"):
             groups = group_by_structure(batch, pool=self._stack_pool)
         else:  # per-plan processing
-            groups = [_singleton(plan) for plan in batch]
+            groups = [_singleton(plan, self.config.np_dtype) for plan in batch]
         sse_fn = (
             self._group_sse_cached
             if mode in ("both", "info_sharing")
@@ -399,7 +405,9 @@ class Trainer:
         tape_free = self.uses_compiled_engine
         fused = self.execution_engine == "fused"
         step_fn = self._fused_train_step if fused else self._compiled_train_step
-        pre_grouped = PreGroupedCorpus(corpus) if tape_free else None
+        pre_grouped = (
+            PreGroupedCorpus(corpus, dtype=self.config.np_dtype) if tape_free else None
+        )
         # Fused engine: pad every batch to the corpus structure list so
         # one LevelPlan serves the entire fit (no per-subset recompiles).
         pad = _corpus_group_padder(pre_grouped) if fused else None

@@ -31,6 +31,7 @@ class NeuralUnit(nn.Module):
         neurons: int,
         rng: Optional[np.random.Generator] = None,
         activation: str = "relu",
+        dtype: np.dtype = np.float64,
     ) -> None:
         if feature_size < 0:
             raise ValueError("feature_size must be >= 0")
@@ -41,12 +42,16 @@ class NeuralUnit(nn.Module):
         self.in_features = feature_size + self.arity * (data_size + 1)
         if self.in_features == 0:
             raise ValueError(f"unit {logical_type} has an empty input vector")
+        #: Compute precision of the unit's parameters (and therefore of
+        #: every matmul routed through it).
+        self.dtype = np.dtype(dtype)
         self.net = nn.mlp(
             self.in_features,
             [neurons] * hidden_layers,
             data_size + 1,
             rng=rng,
             activation=activation,
+            dtype=self.dtype,
         )
 
     # ------------------------------------------------------------------
@@ -117,7 +122,9 @@ class NeuralUnit(nn.Module):
         parts.extend(child_outputs)
         batch = features.data.shape[0]
         for _ in range(self.arity - len(child_outputs)):
-            parts.append(nn.Tensor(np.zeros((batch, self.data_size + 1))))
+            parts.append(
+                nn.Tensor(np.zeros((batch, self.data_size + 1), dtype=self.dtype))
+            )
         return F.concat(parts, axis=1) if len(parts) > 1 else features
 
     def __repr__(self) -> str:

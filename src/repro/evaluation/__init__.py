@@ -14,6 +14,7 @@ from .metrics import (
     AccuracySummary,
     RBuckets,
     mean_absolute_error,
+    precision_agreement_gap,
     r_buckets,
     r_cdf,
     r_values,
@@ -24,6 +25,7 @@ from .metrics import (
 __all__ = [
     "relative_error",
     "mean_absolute_error",
+    "precision_agreement_gap",
     "r_values",
     "r_buckets",
     "r_cdf",

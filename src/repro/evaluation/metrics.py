@@ -34,6 +34,29 @@ def relative_error(actual: Sequence[float], predicted: Sequence[float]) -> float
     return float(np.mean(np.abs(a - p) / a))
 
 
+def precision_agreement_gap(
+    got: Sequence[float],
+    reference: Sequence[float],
+    scale_ms: float,
+    floor_frac: float = 0.01,
+) -> float:
+    """Max relative disagreement between two precision tiers' predictions.
+
+    The acceptance metric of the float32 execution tier: float32's
+    absolute error tracks the model's working magnitude (the
+    featurizer's latency scale), so the denominator is floored at
+    ``floor_frac`` of that scale — a prediction far below it is
+    "effectively zero latency" and relative error against it measures
+    noise amplification, not disagreement.  Used by the precision tests
+    and the serving benchmark alike so both enforce one definition.
+    """
+    got, reference = _validate(got, reference)
+    if scale_ms <= 0:
+        raise ValueError("scale_ms must be positive")
+    floor = floor_frac * scale_ms
+    return float(np.max(np.abs(got - reference) / np.maximum(reference, floor)))
+
+
 def mean_absolute_error(actual: Sequence[float], predicted: Sequence[float]) -> float:
     """MAE in the units of the inputs (ms throughout this library)."""
     a, p = _validate(np.asarray(actual), np.asarray(predicted))

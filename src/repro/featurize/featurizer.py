@@ -139,7 +139,10 @@ class Featurizer:
         return [self.transform_node(node) for node in root.preorder()]
 
     def transform_aligned(
-        self, nodes: Sequence[PlanNode], out: Optional[np.ndarray] = None
+        self,
+        nodes: Sequence[PlanNode],
+        out: Optional[np.ndarray] = None,
+        dtype: np.dtype = np.float64,
     ) -> np.ndarray:
         """Vectorize same-type nodes together into a ``(B, f_type)`` matrix.
 
@@ -148,9 +151,17 @@ class Featurizer:
         (all the same logical type), so the per-feature transforms —
         ``log1p``, sign-preserving log, whitening, one-hot lookups —
         apply once per column over the whole batch instead of once per
-        node.  Row ``i`` is bitwise identical to ``transform_node(nodes[i])``.
+        node.  Row ``i`` is bitwise identical to ``transform_node(nodes[i])``
+        in float64 (and its rounding in float32).
         ``out``, when given, must be ``(B, f_type)`` and is written in
-        place (buffer reuse; see :class:`repro.core.batching.BufferPool`).
+        place (buffer reuse; see :class:`repro.core.batching.BufferPool`);
+        its dtype *is* the feature precision — a float32 serving session
+        hands in float32 pool buffers and every column block lands in
+        that dtype with at most a per-column cast on write (small
+        per-column staging rows may still compute in float64 to stay in
+        lockstep with the scalar path; there is never a full float64
+        feature matrix built and copied after the fact).  ``dtype`` only
+        sets the allocation precision when ``out`` is None.
 
         NOTE: this vectorizes ``transform_node``/``_numeric_row``
         column-wise; the two implementations must be kept in sync (the
@@ -163,7 +174,7 @@ class Featurizer:
         n = len(nodes)
         width = self.feature_size(ltype)
         if out is None:
-            out = np.empty((n, width))
+            out = np.empty((n, width), dtype=dtype)
         elif out.shape != (n, width):
             raise ValueError(f"out must have shape {(n, width)}, got {out.shape}")
         props = [node.props for node in nodes]

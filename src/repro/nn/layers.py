@@ -112,7 +112,10 @@ class Module:
         if missing or unexpected:
             raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
         for name, param in params.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            # Cast to the parameter's own precision: a float64 checkpoint
+            # loads into a float32 model (and vice versa), and a
+            # same-dtype round trip is bitwise.
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
@@ -132,15 +135,24 @@ class Linear(Module):
         rng: Optional[np.random.Generator] = None,
         init: str = "kaiming",
         bias: bool = True,
+        dtype: np.dtype = np.float64,
     ) -> None:
         if in_features <= 0 or out_features <= 0:
             raise ValueError("Linear layer dimensions must be positive")
         rng = rng if rng is not None else np.random.default_rng()
+        # Draw in float64 and cast: a float32 layer starts at exactly the
+        # rounded float64 init (same rng stream either way), which is what
+        # lets the precision tiers be compared seed-for-seed.
         weight, bias_vec = INITIALIZERS[init](in_features, out_features, rng)
+        dtype = np.dtype(dtype)
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = Tensor(weight, requires_grad=True, name="weight")
-        self.bias = Tensor(bias_vec, requires_grad=True, name="bias") if bias else None
+        self.weight = Tensor(weight.astype(dtype, copy=False), requires_grad=True, name="weight")
+        self.bias = (
+            Tensor(bias_vec.astype(dtype, copy=False), requires_grad=True, name="bias")
+            if bias
+            else None
+        )
 
     def forward(self, x: Tensor) -> Tensor:
         if x.data.shape[-1] != self.in_features:
@@ -332,12 +344,14 @@ def mlp(
     out_features: int,
     rng: Optional[np.random.Generator] = None,
     activation: str = "relu",
+    dtype: np.dtype = np.float64,
 ) -> Sequential:
     """Build the hidden-layers-plus-output-layer stack used by neural units.
 
     ``hidden_sizes`` gives the width of each hidden layer; the output layer
     is a plain affine map (the latency/data-vector head stays linear, as in
-    the paper's Figure 2).
+    the paper's Figure 2).  ``dtype`` sets the parameter (and therefore
+    compute) precision of every layer.
     """
     activations: dict[str, type[Module]] = {"relu": ReLU, "sigmoid": Sigmoid, "tanh": Tanh}
     if activation not in activations:
@@ -346,8 +360,8 @@ def mlp(
     layers: list[Module] = []
     width = in_features
     for hidden in hidden_sizes:
-        layers.append(Linear(width, hidden, rng=rng))
+        layers.append(Linear(width, hidden, rng=rng, dtype=dtype))
         layers.append(act())
         width = hidden
-    layers.append(Linear(width, out_features, rng=rng))
+    layers.append(Linear(width, out_features, rng=rng, dtype=dtype))
     return Sequential(*layers)

@@ -28,7 +28,9 @@ class FlatParameterSpace:
     """Flat data/grad storage for a fixed parameter list, with views.
 
     Construction concatenates all parameter values into one flat
-    ``float64`` buffer and rebinds each ``param.data`` to a reshaped view
+    buffer (in the parameters' shared dtype — float32 models get a
+    float32 flat space, so the fused clip and update run at the model's
+    own precision) and rebinds each ``param.data`` to a reshaped view
     of it (values preserved); a parallel flat gradient buffer provides
     per-parameter views that :meth:`bind_grads` installs as ``param.grad``.
     Gradient accumulation (taped ``_accumulate`` or the compiled
@@ -53,9 +55,15 @@ class FlatParameterSpace:
             raise ValueError("FlatParameterSpace received no parameters")
         if len({id(p) for p in self.parameters}) != len(self.parameters):
             raise ValueError("duplicate parameters in FlatParameterSpace")
+        dtypes = {p.data.dtype for p in self.parameters}
+        if len(dtypes) != 1:
+            raise ValueError(
+                f"FlatParameterSpace requires a uniform parameter dtype, got {sorted(map(str, dtypes))}"
+            )
+        self.dtype = dtypes.pop()
         self.size = sum(p.data.size for p in self.parameters)
-        self.data = np.empty(self.size, dtype=np.float64)
-        self.grad = np.zeros(self.size, dtype=np.float64)
+        self.data = np.empty(self.size, dtype=self.dtype)
+        self.grad = np.zeros(self.size, dtype=self.dtype)
         self._grad_views: list[np.ndarray] = []
         offset = 0
         for param in self.parameters:

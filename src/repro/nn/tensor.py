@@ -5,7 +5,9 @@ implements QPP Net with PyTorch; PyTorch is unavailable offline, so we
 provide the same capability — dynamic, per-input computation graphs with
 exact gradients — with a small taped autodiff engine.
 
-A :class:`Tensor` wraps a ``float64`` numpy array.  Operations on tensors
+A :class:`Tensor` wraps a floating-point numpy array (``float64`` by
+default; ``float32`` arrays are kept as-is so precision-tiered models
+can run the taped reference in their own dtype).  Operations on tensors
 record a backward closure on the operation tape; :meth:`Tensor.backward`
 replays the tape in reverse topological order, accumulating gradients.
 Dynamic graphs (a different topology per input, as required by
@@ -24,7 +26,11 @@ ArrayLike = Union[np.ndarray, float, int, Sequence[float]]
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
-    arr = np.asarray(value, dtype=np.float64)
+    # Preserve the compute precision of float32/float64 inputs; anything
+    # else (ints, bools, Python lists) lands in the float64 default.
+    arr = np.asarray(value)
+    if arr.dtype != np.float32 and arr.dtype != np.float64:
+        arr = arr.astype(np.float64)
     return arr
 
 
@@ -92,7 +98,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array content (copied to ``float64`` if needed).
+        Array content (float32/float64 kept as-is, anything else copied
+        to ``float64``).
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` during
         :meth:`backward`.
@@ -165,6 +172,20 @@ class Tensor:
             out._backward = backward
         return out
 
+    def _coerce(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        """Wrap an operand, keeping Python scalars in *this* tensor's dtype.
+
+        Bare ints/floats are constants, not data: a float32 tensor times
+        ``2.0`` must stay float32 (numpy's 0-d float64 array would
+        otherwise promote the result).  Array operands keep their own
+        dtype and promote normally.
+        """
+        if isinstance(other, Tensor):
+            return other
+        if isinstance(other, (int, float)):
+            return Tensor(np.asarray(other, dtype=self.data.dtype))
+        return Tensor(other)
+
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
             return
@@ -225,7 +246,7 @@ class Tensor:
     # Arithmetic ops
     # ------------------------------------------------------------------
     def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._coerce(other)
         data = self.data + other_t.data
 
         def backward(grad: np.ndarray) -> None:
@@ -243,7 +264,7 @@ class Tensor:
         return Tensor._make(-self.data, (self,), backward)
 
     def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._coerce(other)
         data = self.data - other_t.data
 
         def backward(grad: np.ndarray) -> None:
@@ -253,10 +274,10 @@ class Tensor:
         return Tensor._make(data, (self, other_t), backward)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other) - self
+        return self._coerce(other) - self
 
     def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._coerce(other)
         data = self.data * other_t.data
 
         def backward(grad: np.ndarray) -> None:
@@ -268,7 +289,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._coerce(other)
         data = self.data / other_t.data
 
         def backward(grad: np.ndarray) -> None:
@@ -280,7 +301,7 @@ class Tensor:
         return Tensor._make(data, (self, other_t), backward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other) / self
+        return self._coerce(other) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):

@@ -49,7 +49,11 @@ class InferenceSession:
     ) -> None:
         self.model = model
         self.featurizer = model.featurizer
-        self._pool = BufferPool(max_entries=max_pooled_buffers)
+        #: The model's compute precision; the session's stacking buffers
+        #: are allocated in it, so featurization writes float32 directly
+        #: for a float32 model (no float64 staging on the hot path).
+        self.dtype = model.config.np_dtype
+        self._pool = BufferPool(max_entries=max_pooled_buffers, dtype=self.dtype)
         self._widths = model.featurizer.feature_sizes()
         #: Requests served since construction (monitoring hook).
         self.requests_served = 0
@@ -82,8 +86,8 @@ class InferenceSession:
         if not plans:
             return np.empty(0)
         out = np.empty(len(plans))
+        scale = self.featurizer.latency_scale_ms
         for bucket, outputs in self._run_buckets(plans):
-            scale = self.featurizer.latency_scale_ms
             roots = np.maximum(MIN_PREDICTION_MS, outputs[0][:, 0] * scale)
             out[bucket.indices] = roots
         self.requests_served += len(plans)
@@ -94,8 +98,8 @@ class InferenceSession:
         if not plans:
             return []
         results: list[list[float]] = [[] for _ in plans]
+        scale = self.featurizer.latency_scale_ms
         for bucket, outputs in self._run_buckets(plans):
-            scale = self.featurizer.latency_scale_ms
             n_nodes = bucket.graph.n_nodes
             per_node = [
                 np.maximum(MIN_PREDICTION_MS, outputs[pos][:, 0] * scale)

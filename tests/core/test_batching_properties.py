@@ -130,3 +130,44 @@ class TestPlanGraphDepth:
             ]
             assert all(graph.depth_of(p) == 1 for p in leaf_positions)
             assert root_depth >= 1
+
+    def test_heights_match_recursive_definition(self, vectorized):
+        def recursive_height(graph, pos):
+            kids = graph.children[pos]
+            if not kids:
+                return 0
+            return 1 + max(recursive_height(graph, k) for k in kids)
+
+        for plan in vectorized[:5]:
+            graph = plan.graph
+            assert graph.heights == tuple(
+                recursive_height(graph, p) for p in range(graph.n_nodes)
+            )
+            # depth_of is the 1-based view of the same pass.
+            assert all(
+                graph.depth_of(p) == graph.heights[p] + 1
+                for p in range(graph.n_nodes)
+            )
+
+    def test_heights_memoized(self, vectorized):
+        graph = vectorized[0].graph
+        assert graph.heights is graph.heights  # one postorder pass, cached
+
+    def test_depth_of_iterative_on_deep_chain(self):
+        """A unary chain deeper than the recursion limit: the old
+        recursive depth_of would blow the stack; the postorder pass must
+        not."""
+        from repro.core.batching import PlanGraph
+        from repro.plans.operators import LogicalType
+
+        n = 5000
+        types = tuple(
+            [LogicalType.MATERIALIZE] * (n - 1) + [LogicalType.SCAN]
+        )
+        children = tuple(
+            tuple([pos + 1]) if pos < n - 1 else () for pos in range(n)
+        )
+        postorder = tuple(range(n - 1, -1, -1))
+        graph = PlanGraph("chain", types, children, postorder)
+        assert graph.depth_of(0) == n
+        assert graph.depth_of(n - 1) == 1

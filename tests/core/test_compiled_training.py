@@ -345,6 +345,195 @@ class TestRandomStructureEquivalence:
         assert worst <= GRAD_TOL
 
 
+class TestDtypeTiers:
+    """float32 compute vs the float64 reference (ISSUE 5 tentpole guard).
+
+    A float32 model built from the same seed draws the same init (cast
+    once), so its losses, gradients and predictions must *track* the
+    float64 reference — equality up to float32 rounding, property-tested
+    across the same random-structure space as the fused-vs-taped sweep.
+    """
+
+    # float32 has ~1e-7 relative rounding per op; these nets are a few
+    # matmuls deep, so 1e-4 relative is a comfortable-but-meaningful bar
+    # (and the serving acceptance bar from the issue).
+    REL_TOL = 1e-4
+
+    @staticmethod
+    def _unit_pair(rng_seed):
+        """Structurally identical float64/float32 unit sets, same draws."""
+        units = {}
+        for dtype in (np.float64, np.float32):
+            rng = np.random.default_rng(rng_seed)
+            units[dtype] = {
+                lt: NeuralUnit(
+                    lt,
+                    feature_size=3,
+                    data_size=4,
+                    hidden_layers=2,
+                    neurons=8,
+                    rng=rng,
+                    dtype=dtype,
+                )
+                for lt in LogicalType
+            }
+        return units[np.float64], units[np.float32]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fused_float32_tracks_float64_random_structures(self, seed):
+        """Gradients and predictions of the float32 fused engine agree
+        with the float64 run to float32 rounding, over random structures,
+        depths and batch sizes."""
+        rng = np.random.default_rng(300 + seed)
+        units64, units32 = self._unit_pair(200 + seed)
+        graphs = [
+            _random_graph(rng, max_depth=int(rng.integers(1, 5)))
+            for _ in range(int(rng.integers(1, 4)))
+        ]
+        counts = [int(rng.integers(1, 6)) for _ in graphs]
+        features64 = [
+            [rng.standard_normal((b, 3)) for _ in g.types]
+            for g, b in zip(graphs, counts)
+        ]
+        features32 = [[f.astype(np.float32) for f in per] for per in features64]
+        labels64 = [rng.standard_normal((b, g.n_nodes)) for g, b in zip(graphs, counts)]
+        labels32 = [m.astype(np.float32) for m in labels64]
+        total_ops = sum(b * g.n_nodes for g, b in zip(graphs, counts))
+
+        def run(units, features, labels):
+            plan = LevelPlan(graphs, units)
+            run = plan.forward_training(features, counts)
+            flat_labels = plan.gather_node_columns(labels, run.layout)
+            diff = run.out[:, 0] - flat_labels
+            loss = float(diff @ diff) / total_ops
+            grads = plan.alloc_output_grads(run.layout)
+            np.multiply(diff, 2.0 / total_ops, out=grads[:, 0])
+            plan.backward(run, grads)
+            out = run.out.copy()
+            param_grads = {
+                (lt, name): p.grad.copy()
+                for lt, unit in units.items()
+                for name, p in unit.named_parameters()
+                if p.grad is not None
+            }
+            return loss, out, param_grads
+
+        loss64, out64, grads64 = run(units64, features64, labels64)
+        loss32, out32, grads32 = run(units32, features32, labels32)
+
+        assert out32.dtype == np.float32 and out64.dtype == np.float64
+        assert abs(loss32 - loss64) <= self.REL_TOL * max(1.0, abs(loss64))
+        assert np.max(np.abs(out32 - out64)) <= self.REL_TOL * max(
+            1.0, float(np.max(np.abs(out64)))
+        )
+        assert set(grads32) == set(grads64)
+        for key, g64 in grads64.items():
+            g32 = grads32[key]
+            assert g32.dtype == np.float32
+            scale = max(1.0, float(np.max(np.abs(g64))))
+            assert np.max(np.abs(g32 - g64)) <= 1e-3 * scale
+
+    def test_float32_fit_tracks_float64_loss_curve(self, corpus, featurizer):
+        """End-to-end training (fused engine, same seed, same batches):
+        the float32 loss curve must track the float64 reference epoch for
+        epoch.  Momentum accumulates rounding across steps, so the bar is
+        looser than the single-step one but still tight."""
+
+        def run(dtype):
+            config = tiny_config(epochs=4, dtype=dtype)
+            model = QPPNet(featurizer, config)
+            history = Trainer(model, config).fit(corpus)
+            return history.train_loss
+
+        ref = run("float64")
+        f32 = run("float32")
+        assert f32 == pytest.approx(ref, rel=5e-3)
+        # And it actually trains.
+        assert f32[-1] < f32[0]
+
+    def test_float32_hot_path_has_no_float64_buffers(self, corpus, featurizer):
+        """The acceptance bar: assembly, matmul outputs, loss seeds,
+        flat parameter/gradient storage and optimizer state are all
+        float32 when the config says float32."""
+        config = tiny_config(epochs=1, dtype="float32")
+        model = QPPNet(featurizer, config)
+        trainer = Trainer(model, config)
+        vec = vectorize_corpus(corpus, featurizer)
+        trainer.fit_vectorized(vec, epochs=1)
+
+        flat = trainer._flat
+        assert flat is not None
+        assert flat.data.dtype == np.float32 and flat.grad.dtype == np.float32
+        assert trainer.optimizer._flat_velocity.dtype == np.float32
+        for param in model.parameters():
+            assert param.data.dtype == np.float32
+            assert param.grad.dtype == np.float32
+        # Every pooled buffer of every compiled level plan (assembly
+        # matrices, global outputs, gradient seeds, label gathers).
+        plans = list(model.level_plans._entries.values())
+        assert plans, "fused fit must have compiled a level plan"
+        for plan in plans:
+            assert plan.dtype == np.float32
+            for buffer in plan._buffers._buffers.values():
+                assert buffer.dtype == np.float32
+        # The trainer's stacking pool feeds batches in compute dtype.
+        for buffer in trainer._stack_pool._buffers.values():
+            assert buffer.dtype == np.float32
+
+    def test_pre_grouped_corpus_carries_dtype(self, corpus, featurizer):
+        vec = vectorize_corpus(corpus, featurizer)
+        pre = PreGroupedCorpus(vec, dtype=np.float32)
+        assert pre.dtype == np.float32
+        for group in pre.groups:
+            assert group.labels.dtype == np.float32
+            assert all(f.dtype == np.float32 for f in group.features)
+        gathered = pre.gather(np.arange(min(8, len(vec))))
+        for group in gathered:
+            assert group.labels.dtype == np.float32
+            assert all(f.dtype == np.float32 for f in group.features)
+
+    @pytest.mark.parametrize("mode", ["naive", "info_sharing"])
+    def test_ablation_modes_honour_dtype(self, corpus, featurizer, mode):
+        """The per-plan ablation modes bypass the stacking pool, so they
+        must cast features/labels themselves — a float32 model's taped
+        loss and gradients stay float32 in every mode."""
+        config = tiny_config(mode=mode, dtype="float32", batch_size=4)
+        model = QPPNet(featurizer, config)
+        trainer = Trainer(model, config)
+        vec = vectorize_corpus(corpus[:4], featurizer)
+        loss = trainer.batch_loss(vec)
+        assert loss.data.dtype == np.float32
+        loss.backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert grads and all(g.dtype == np.float32 for g in grads)
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            tiny_config(dtype="float16")
+
+    def test_mixed_dtype_units_rejected_by_level_plan(self):
+        """A plan whose positions resolve to units of different dtypes
+        must be rejected at compile time, not promote silently."""
+        rng = np.random.default_rng(0)
+        # JOIN(SCAN, SCAN) in preorder: two unit types, guaranteed mixed.
+        graph = PlanGraph(
+            "join(scan,scan)",
+            (LogicalType.JOIN, LogicalType.SCAN, LogicalType.SCAN),
+            ((1, 2), (), ()),
+            (1, 2, 0),
+        )
+        units = {
+            LogicalType.JOIN: NeuralUnit(
+                LogicalType.JOIN, 3, 4, 1, 4, rng=rng, dtype=np.float64
+            ),
+            LogicalType.SCAN: NeuralUnit(
+                LogicalType.SCAN, 3, 4, 1, 4, rng=rng, dtype=np.float32
+            ),
+        }
+        with pytest.raises(ValueError, match="dtype"):
+            LevelPlan([graph], units)
+
+
 class TestPreGroupedCorpus:
     def test_gather_matches_group_by_structure(self, corpus, featurizer):
         vec = vectorize_corpus(corpus, featurizer)

@@ -59,6 +59,30 @@ class TestTransformAligned:
         with pytest.raises(ValueError):
             featurizer.transform_aligned(nodes, out=np.empty((1, 1)))
 
+    def test_dtype_targets_allocation_and_matches_cast(self, fitted):
+        """Without ``out``, ``dtype`` sets the allocation precision.
+        Column blocks land in float32 (whitening and ufuncs run in-place
+        on the float32 buffer; per-column staging may compute in
+        float64), so values agree with the float64 path to float32
+        rounding rather than bitwise.  A float32 ``out`` buffer (the
+        serving hot path) is bit-identical to the ``dtype=`` allocation."""
+        featurizer, corpus = fitted
+        node_lists = max(_buckets(corpus).values(), key=len)
+        nodes = [nl[0] for nl in node_lists]
+        reference = featurizer.transform_aligned(nodes)
+        assert reference.dtype == np.float64
+
+        f32 = featurizer.transform_aligned(nodes, dtype=np.float32)
+        assert f32.dtype == np.float32
+        assert np.allclose(f32, reference, rtol=1e-5, atol=1e-6)
+
+        width = featurizer.feature_size(nodes[0].logical_type)
+        pool = BufferPool(dtype=np.float32)
+        out = pool.take("k", (len(nodes), width))
+        result = featurizer.transform_aligned(nodes, out=out)
+        assert result is out and result.dtype == np.float32
+        assert np.array_equal(result, f32)
+
     def test_unfitted_raises(self, fitted):
         _, corpus = fitted
         with pytest.raises(RuntimeError):
