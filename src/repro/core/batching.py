@@ -334,6 +334,71 @@ class PreGroupedCorpus:
                 self._row_of[i] = row
             self.groups.append(StructureGroup(graph, features, labels))
 
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Sequence[PlanSample],
+        featurizer: Featurizer,
+        dtype: np.dtype = np.float64,
+    ) -> "PreGroupedCorpus":
+        """Pre-grouped corpus straight from raw samples, via the compiled
+        featurization tier — no intermediate :class:`VectorizedPlan`\\ s.
+
+        Equivalent (bitwise, feature and label matrices alike) to
+        ``PreGroupedCorpus(vectorize_corpus(samples, featurizer), dtype)``
+        but featurizes each group through per-type
+        :class:`~repro.featurize.compiled.FeatureProgram` runs — one
+        vectorized pass per (structure, logical type) over the whole
+        group instead of a per-node schema walk per plan.  Programs run
+        in float64 and the stacked blocks are cast once at the end,
+        matching the reference path's featurize-then-cast order exactly.
+        """
+        if not samples:
+            raise ValueError("PreGroupedCorpus requires at least one plan")
+        dtype = np.dtype(dtype)
+        programs = featurizer.compiled()
+        scale = featurizer.latency_scale_ms
+        node_lists = [list(s.plan.preorder()) for s in samples]
+        buckets: dict[str, list[int]] = {}
+        for i, sample in enumerate(samples):
+            buckets.setdefault(sample.plan.structure_signature(), []).append(i)
+        self = cls.__new__(cls)
+        self.dtype = dtype
+        self.n_plans = len(samples)
+        self.groups = []
+        self._group_of = np.empty(self.n_plans, dtype=np.intp)
+        self._row_of = np.empty(self.n_plans, dtype=np.intp)
+        for gid, signature in enumerate(sorted(buckets)):
+            members = buckets[signature]
+            graph = plan_graph(samples[members[0]].plan)
+            n = len(members)
+            features: list[np.ndarray] = [np.empty(0)] * graph.n_nodes
+            for program, positions in programs.layout(graph):
+                block = program.run(
+                    [node_lists[i][pos] for pos in positions for i in members]
+                ).astype(dtype, copy=False)
+                for k, pos in enumerate(positions):
+                    features[pos] = block[k * n : (k + 1) * n]
+            labels = np.array(
+                [
+                    [
+                        (
+                            node.actual_total_ms
+                            if node.actual_total_ms is not None
+                            else 0.0
+                        )
+                        / scale
+                        for node in node_lists[i]
+                    ]
+                    for i in members
+                ]
+            ).astype(dtype, copy=False)
+            for row, i in enumerate(members):
+                self._group_of[i] = gid
+                self._row_of[i] = row
+            self.groups.append(StructureGroup(graph, features, labels))
+        return self
+
     @property
     def n_structures(self) -> int:
         return len(self.groups)

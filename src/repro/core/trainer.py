@@ -371,11 +371,22 @@ class Trainer:
         ``eval_fn(model)`` (e.g. test-set MAE) is recorded every
         ``eval_every`` epochs — used by the Figure 9b/9c convergence
         experiment.
+
+        The tape-free engines build their epoch-level
+        :class:`PreGroupedCorpus` straight from the samples via the
+        compiled featurization tier
+        (:meth:`PreGroupedCorpus.from_samples`) — one vectorized program
+        run per (structure, logical type) — skipping the per-node
+        ``vectorize_corpus`` walk entirely; only the taped reference
+        loop still vectorizes plan by plan.
         """
+        if self.uses_compiled_engine:
+            pre_grouped = PreGroupedCorpus.from_samples(
+                samples, self.model.featurizer, dtype=self.config.np_dtype
+            )
+            return self._run_fit(None, pre_grouped, epochs, eval_fn, eval_every, verbose)
         corpus = vectorize_corpus(samples, self.model.featurizer)
-        return self.fit_vectorized(
-            corpus, epochs=epochs, eval_fn=eval_fn, eval_every=eval_every, verbose=verbose
-        )
+        return self._run_fit(corpus, None, epochs, eval_fn, eval_every, verbose)
 
     def fit_vectorized(
         self,
@@ -395,6 +406,28 @@ class Trainer:
         :class:`PreGroupedCorpus`; everything else runs the taped
         reference loop.
         """
+        pre_grouped = (
+            PreGroupedCorpus(corpus, dtype=self.config.np_dtype)
+            if self.uses_compiled_engine
+            else None
+        )
+        return self._run_fit(corpus, pre_grouped, epochs, eval_fn, eval_every, verbose)
+
+    def _run_fit(
+        self,
+        corpus: Optional[Sequence[VectorizedPlan]],
+        pre_grouped: Optional[PreGroupedCorpus],
+        epochs: Optional[int],
+        eval_fn: Optional[Callable[[QPPNet], float]],
+        eval_every: int,
+        verbose: bool,
+    ) -> TrainingHistory:
+        """Shared epoch loop behind :meth:`fit` / :meth:`fit_vectorized`.
+
+        Exactly one of ``corpus`` (taped reference loop) / ``pre_grouped``
+        (tape-free engines) drives the batches; both entry points resolve
+        which before calling in.
+        """
         epochs = epochs if epochs is not None else self.config.epochs
         rng = np.random.default_rng(self.config.seed + 7)
         scheduler = None
@@ -402,12 +435,9 @@ class Trainer:
             scheduler = nn.StepLR(
                 self.optimizer, self.config.lr_decay_every, self.config.lr_decay_gamma
             )
-        tape_free = self.uses_compiled_engine
-        fused = self.execution_engine == "fused"
+        tape_free = pre_grouped is not None
+        fused = tape_free and self.execution_engine == "fused"
         step_fn = self._fused_train_step if fused else self._compiled_train_step
-        pre_grouped = (
-            PreGroupedCorpus(corpus, dtype=self.config.np_dtype) if tape_free else None
-        )
         # Fused engine: pad every batch to the corpus structure list so
         # one LevelPlan serves the entire fit (no per-subset recompiles).
         pad = _corpus_group_padder(pre_grouped) if fused else None

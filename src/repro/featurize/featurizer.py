@@ -6,6 +6,19 @@ whitening statistics of every numeric feature, per operator type — and
 then maps any plan node to its fixed-size input vector.  Per-type vector
 sizes differ (heterogeneous tree nodes, §3), which is exactly why each
 operator type gets its own neural unit.
+
+Two transform tiers share one fit:
+
+* the **scalar reference** (:meth:`Featurizer.transform_node` /
+  :meth:`transform_aligned`) — the schema walk, readable and exhaustively
+  property-tested; and
+* **compiled feature programs** (:meth:`Featurizer.compiled`, see
+  :mod:`repro.featurize.compiled`) — the resolved column layout per
+  logical type, which the serving and training hot paths run instead.
+
+Both are bitwise-equal in float64; every fitted attribute the transforms
+read is frozen at :meth:`fit` time, so a shared featurizer can serve
+from many threads without the hot path ever mutating it.
 """
 
 from __future__ import annotations
@@ -38,11 +51,36 @@ class Featurizer:
         self._onehots: dict[tuple[LogicalType, str], OneHotEncoder] = {}
         self._fitted = False
         self._size_cache: dict[LogicalType, int] = {}
-        self.extra_numeric_fn = extra_numeric_fn
+        self._extra_numeric_fn = extra_numeric_fn
+        # Width of the extra_numeric_fn block, fixed at fit() (or restored
+        # by deserialization) — never mutated on the transform hot path.
         self._n_extra = 0
+        self._compiled = None
         # Latency scale (mean operator latency in ms over the training
         # corpus): models train on latency / scale for conditioning.
         self.latency_scale_ms: float = 1.0
+
+    @property
+    def extra_numeric_fn(self) -> Optional[Callable[[PlanNode], list[float]]]:
+        return self._extra_numeric_fn
+
+    @extra_numeric_fn.setter
+    def extra_numeric_fn(self, fn: Optional[Callable[[PlanNode], list[float]]]) -> None:
+        # The whitening statistics and per-type widths are fixed at fit():
+        # attaching (or detaching) the hook afterwards would silently skew
+        # feature_size() and break the whitener's column alignment.  The
+        # one legal post-fit mutation is re-attaching a function to a
+        # deserialized featurizer that was fitted with extras (arity is
+        # re-validated on every transform).
+        if self._fitted and (fn is not None) != (self._n_extra > 0):
+            raise ValueError(
+                "extra_numeric_fn changes the feature layout; attach it before "
+                "fit() (or re-attach a function matching the arity the "
+                "featurizer was fitted with)"
+            )
+        self._extra_numeric_fn = fn
+        self._size_cache.clear()
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # Fitting
@@ -51,6 +89,11 @@ class Featurizer:
         plans = list(plans)
         if not plans:
             raise ValueError("cannot fit featurizer on an empty corpus")
+        # The extra-feature width is fixed here, once, before any row is
+        # assembled — the transform hot path only ever reads it.
+        self._n_extra = 0
+        if self._extra_numeric_fn is not None:
+            self._n_extra = len([float(v) for v in self._extra_numeric_fn(plans[0])])
         buckets: dict[LogicalType, list[np.ndarray]] = {}
         latencies: list[float] = []
         # Prepare encoders.
@@ -81,6 +124,7 @@ class Featurizer:
         if latencies:
             self.latency_scale_ms = float(max(1e-6, np.mean(latencies)))
         self._size_cache.clear()
+        self._compiled = None  # programs bind fitted state; recompile lazily
         self._fitted = True
         return self
 
@@ -103,9 +147,13 @@ class Featurizer:
             # Attribute statistics are magnitudes too; compress with
             # sign-preserving log.
             parts.extend(float(np.sign(v) * np.log1p(abs(v))) for v in values)
-        if self.extra_numeric_fn is not None:
-            extra = [float(v) for v in self.extra_numeric_fn(node)]
-            self._n_extra = len(extra)
+        if self._extra_numeric_fn is not None:
+            extra = [float(v) for v in self._extra_numeric_fn(node)]
+            if len(extra) != self._n_extra:
+                raise ValueError(
+                    f"extra_numeric_fn returned {len(extra)} features, expected "
+                    f"{self._n_extra} (arity is fixed at fit())"
+                )
             parts.extend(extra)
         return np.asarray(parts, dtype=np.float64)
 
@@ -169,6 +217,11 @@ class Featurizer:
         """
         if not self._fitted:
             raise RuntimeError("featurizer is not fitted")
+        if not nodes:
+            raise ValueError(
+                "transform_aligned requires at least one node (empty buckets "
+                "have no logical type to resolve a layout from)"
+            )
         ltype = nodes[0].logical_type
         schema = FEATURE_SCHEMAS[ltype]
         n = len(nodes)
@@ -209,11 +262,15 @@ class Featurizer:
             mat = np.array(rows, dtype=np.float64)
             out[:, col : col + length] = np.sign(mat) * np.log1p(np.abs(mat))
             col += length
-        if self.extra_numeric_fn is not None:
+        if self._extra_numeric_fn is not None:
             extra = np.array(
-                [[float(v) for v in self.extra_numeric_fn(node)] for node in nodes]
-            ).reshape(n, -1)
-            self._n_extra = extra.shape[1]
+                [[float(v) for v in self._extra_numeric_fn(node)] for node in nodes]
+            )
+            if extra.shape != (n, self._n_extra):
+                raise ValueError(
+                    f"extra_numeric_fn produced shape {extra.shape}, expected "
+                    f"{(n, self._n_extra)} (arity is fixed at fit())"
+                )
             out[:, col : col + self._n_extra] = extra
             col += self._n_extra
         whitener = self._whiteners.get(ltype)
@@ -245,6 +302,25 @@ class Featurizer:
                 self._onehots[(ltype, "__physical__")], (node.op.value for node in nodes)
             )
         return out
+
+    # ------------------------------------------------------------------
+    # Compiled tier
+    # ------------------------------------------------------------------
+    def compiled(self):
+        """The compiled feature-program tier bound to this fit.
+
+        Returns the shared :class:`~repro.featurize.compiled.FeatureProgramCache`
+        (compiled lazily, invalidated by :meth:`fit` and by swapping
+        ``extra_numeric_fn``), so every serving session and the training
+        pre-grouping path resolve to the same program objects.
+        """
+        if not self._fitted:
+            raise RuntimeError("featurizer is not fitted")
+        if self._compiled is None:
+            from .compiled import FeatureProgramCache
+
+            self._compiled = FeatureProgramCache(self)
+        return self._compiled
 
     # ------------------------------------------------------------------
     # Introspection

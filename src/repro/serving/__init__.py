@@ -15,15 +15,21 @@ request-shaped, not batch-shaped.  Three tiers, top to bottom:
    (bounded queue + admission hook, rejecting with typed
    :class:`~repro.serving.service.ServiceError` subclasses), clean
    start/stop draining semantics, and a :meth:`~PredictionService.stats`
-   snapshot (queue depth, coalesced batch sizes, p50/p99 latency).
+   snapshot (queue depth, coalesced batch sizes, p50/p99 latency, and
+   feature-cache hit/miss/eviction counters aggregated across sessions).
 
 2. :class:`InferenceSession` — the synchronous building block the
-   service drains into.  ``predict_batch`` featurizes, buckets by
-   structure signature (via :func:`repro.core.batching.bucket_plans`),
-   compiles/caches, runs the whole batch tape-free and scatters results
-   back to request order; ``predict`` is the direct single-plan
-   shortcut.  Sessions are single-threaded by design — the service's
-   drain loop is their serialization point.
+   service drains into.  ``predict_batch`` buckets by structure
+   signature (via :func:`repro.core.batching.bucket_plans`), featurizes
+   each bucket through compiled feature programs
+   (:mod:`repro.featurize.compiled`) with a bounded plan-identity
+   feature-vector cache in front — repeated templated queries skip
+   featurization entirely, and a hit is byte-for-byte the rows a miss
+   would compute — then runs the whole batch tape-free as one fused
+   forward and scatters results back to request order; ``predict`` is
+   the direct single-plan shortcut through the same cache.  Sessions
+   are single-threaded by design — the service's drain loop is their
+   serialization point.
 
 3. :class:`~repro.core.levels.LevelPlan` (in ``repro.core``) — the
    fused execution tier both of the above bottom out in: one matmul per
@@ -46,7 +52,7 @@ from .service import (
     ServiceStoppedError,
     UnknownModelError,
 )
-from .session import InferenceSession
+from .session import InferenceSession, SessionStats
 
 __all__ = [
     "PredictionService",
@@ -58,5 +64,6 @@ __all__ = [
     "ServiceStoppedError",
     "UnknownModelError",
     "InferenceSession",
+    "SessionStats",
     "ModelRegistry",
 ]

@@ -29,8 +29,9 @@ The service owns the operational surface around that loop:
   then either drains in-flight requests to completion or fails them
   fast (``drain=False``).
 * **observability** — :meth:`PredictionService.stats` snapshots queue
-  depth, coalesced batch sizes and p50/p99 request latency from a
-  rolling window.
+  depth, coalesced batch sizes, p50/p99 request latency from a rolling
+  window, and the feature-vector cache counters aggregated across every
+  registered session.
 
 One worker thread serves all models: sessions are deliberately
 single-threaded (mutable stacking buffers), so the coalescing loop is
@@ -186,6 +187,12 @@ class ServiceStats:
     max_batch_size: int
     p50_latency_ms: float
     p99_latency_ms: float
+    #: Feature-vector cache counters, aggregated across every session in
+    #: the registry (zero when all caches are disabled — or for
+    #: duck-typed sessions that expose no cache at all).
+    feature_cache_hits: int = 0
+    feature_cache_misses: int = 0
+    feature_cache_evictions: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -443,6 +450,18 @@ class PredictionService:
         p50, p99 = 0.0, 0.0
         if latencies:
             p50, p99 = (float(v) for v in np.percentile(latencies, [50, 99]))
+        cache_hits = cache_misses = cache_evictions = 0
+        for name in self.registry.names():
+            try:
+                session = self.registry.session(name)
+            except KeyError:  # unregistered between names() and session()
+                continue
+            cache = getattr(session, "feature_cache", None)
+            if cache is None:  # disabled, or a duck-typed session
+                continue
+            cache_hits += getattr(cache, "hits", 0)
+            cache_misses += getattr(cache, "misses", 0)
+            cache_evictions += getattr(cache, "evictions", 0)
         return ServiceStats(
             queue_depth=queue_depth,
             submitted=submitted,
@@ -454,6 +473,9 @@ class PredictionService:
             max_batch_size=max(sizes) if sizes else 0,
             p50_latency_ms=p50,
             p99_latency_ms=p99,
+            feature_cache_hits=cache_hits,
+            feature_cache_misses=cache_misses,
+            feature_cache_evictions=cache_evictions,
         )
 
     # ------------------------------------------------------------------

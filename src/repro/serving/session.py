@@ -16,18 +16,47 @@ Two serving paths:
 * **direct single-plan** — ``predict`` routes one plan straight through
   its compiled schedule's ``run_inference``, skipping the bucket /
   stack / fuse machinery whose overhead is pure waste at batch size 1.
+
+Both paths featurize through the compiled tier
+(:mod:`repro.featurize.compiled`): per-type feature *programs* replace
+the per-node schema walk, and a bounded LRU **feature-vector cache**
+keyed on plan identity (structure signature + every property the
+programs read) lets repeated templated queries skip featurization
+entirely — a hit is a strided row copy, byte-for-byte identical to the
+rows a miss would compute.  Hit/miss/eviction counters surface through
+:meth:`InferenceSession.stats` and aggregate into
+``PredictionService.stats()``.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro import nn
-from repro.core.batching import BufferPool, PlanBucket, bucket_plans
+from repro.core.batching import BufferPool, PlanBucket, plan_graph
 from repro.core.model import MIN_PREDICTION_MS, QPPNet
+from repro.featurize.compiled import FeatureVectorCache
 from repro.plans.node import PlanNode
+
+#: Default bound on the per-session feature-vector cache.  Sized for
+#: templated production workloads (a few thousand distinct parameter
+#: bindings); pass ``feature_cache_size=None`` to disable caching
+#: entirely (every plan featurizes from scratch).
+DEFAULT_FEATURE_CACHE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Point-in-time telemetry snapshot of one :class:`InferenceSession`."""
+
+    requests_served: int
+    feature_cache_hits: int
+    feature_cache_misses: int
+    feature_cache_evictions: int
+    feature_cache_entries: int
 
 
 class InferenceSession:
@@ -44,8 +73,17 @@ class InferenceSession:
     #: and LevelPlanCache caps).
     MAX_POOLED_BUFFERS = 1024
 
+    #: Bound on the memoized structure table (preorder ``(op, arity)``
+    #: walk -> compiled :class:`PlanGraph`), which lets repeat structures
+    #: skip the per-plan signature-string walk on the hot path.  FIFO
+    #: eviction: the table is tiny and rebuilt on demand.
+    MAX_STRUCTURES = 1024
+
     def __init__(
-        self, model: QPPNet, max_pooled_buffers: Optional[int] = MAX_POOLED_BUFFERS
+        self,
+        model: QPPNet,
+        max_pooled_buffers: Optional[int] = MAX_POOLED_BUFFERS,
+        feature_cache_size: Optional[int] = DEFAULT_FEATURE_CACHE_SIZE,
     ) -> None:
         self.model = model
         self.featurizer = model.featurizer
@@ -55,8 +93,21 @@ class InferenceSession:
         self.dtype = model.config.np_dtype
         self._pool = BufferPool(max_entries=max_pooled_buffers, dtype=self.dtype)
         self._widths = model.featurizer.feature_sizes()
+        #: The featurizer's compiled tier (shared across sessions of the
+        #: same model: programs and layouts are read-only after compile).
+        self.programs = model.featurizer.compiled()
+        #: Bounded LRU from plan identity to finished feature rows, or
+        #: ``None`` when caching is disabled.  Per-session (not shared):
+        #: entries are in the session's compute dtype.
+        self.feature_cache: Optional[FeatureVectorCache] = (
+            FeatureVectorCache(feature_cache_size)
+            if feature_cache_size is not None
+            else None
+        )
         #: Requests served since construction (monitoring hook).
         self.requests_served = 0
+        # Memoized structure resolution (see MAX_STRUCTURES).
+        self._structures: dict[tuple, object] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -64,16 +115,22 @@ class InferenceSession:
     def predict(self, plan: PlanNode) -> float:
         """Single-plan fast path: straight through the compiled schedule.
 
-        Equivalent to ``predict_batch([plan])[0]`` but skips bucketing,
-        aligned featurization and level-plan dispatch — the per-call
-        overhead that dominates at batch size 1 (see
-        ``benchmarks/test_serving_throughput.py``).  Delegates to
-        :meth:`QPPNet.predict` (one ``run_inference`` on the plan's
-        compiled schedule) so the single-plan pipeline has one source of
-        truth.
+        Equivalent to ``predict_batch([plan])[0]`` but skips bucketing
+        and level-plan dispatch — the per-call overhead that dominates at
+        batch size 1 (see ``benchmarks/test_serving_throughput.py``).
+        Featurizes through the compiled programs and the feature-vector
+        cache (a repeat of a templated query runs one digest walk plus
+        one ``run_inference``), then one forward on the plan's compiled
+        schedule, matching :meth:`QPPNet.predict` to <= 1e-9.
         """
         self.requests_served += 1
-        return float(self.model.predict(plan))
+        graph, nodes = self._resolve_plan(plan)
+        features = self._featurize_plan(graph, nodes)
+        schedule = self.model.compile_schedule(graph)
+        with nn.inference_mode():
+            outputs = schedule.run_inference(features)
+        scale = self.featurizer.latency_scale_ms
+        return max(MIN_PREDICTION_MS, float(outputs[0][0, 0]) * scale)
 
     def predict_batch(self, plans: Sequence[PlanNode]) -> np.ndarray:
         """Predicted query latency (ms) per plan, in request order.
@@ -114,6 +171,72 @@ class InferenceSession:
         """Single-plan per-operator predictions (see ``predict_batch``)."""
         return self.predict_operators_batch([plan])[0]
 
+    def stats(self) -> SessionStats:
+        """Telemetry snapshot (zeros for the cache when it is disabled)."""
+        cache = self.feature_cache
+        return SessionStats(
+            requests_served=self.requests_served,
+            feature_cache_hits=cache.hits if cache is not None else 0,
+            feature_cache_misses=cache.misses if cache is not None else 0,
+            feature_cache_evictions=cache.evictions if cache is not None else 0,
+            feature_cache_entries=len(cache) if cache is not None else 0,
+        )
+
+    # ------------------------------------------------------------------
+    # Structure resolution (memoized)
+    # ------------------------------------------------------------------
+    def _resolve_plan(self, plan: PlanNode):
+        """One preorder walk -> ``(PlanGraph, preorder node list)``.
+
+        The flat preorder ``(op, arity)`` stream uniquely determines a
+        plan's structure, so it doubles as the memo key: repeat
+        structures (the templated-workload steady state) skip the
+        signature-string build and graph extraction of
+        :func:`~repro.core.batching.plan_graph` entirely, and get back
+        the *same* graph object — whose cached signature-string hash
+        also makes the downstream digest/bucket dict lookups cheap.
+        """
+        nodes: list[PlanNode] = []
+        key_parts: list = []
+        stack = [plan]
+        pop = stack.pop
+        while stack:
+            node = pop()
+            nodes.append(node)
+            kids = node.children
+            key_parts.append(node.op)
+            key_parts.append(len(kids))
+            if kids:
+                stack.extend(reversed(kids))
+        key = tuple(key_parts)
+        structures = self._structures
+        graph = structures.get(key)
+        if graph is None:
+            if len(structures) >= self.MAX_STRUCTURES:
+                del structures[next(iter(structures))]
+            graph = structures[key] = plan_graph(plan)
+        return graph, nodes
+
+    def _bucket(self, plans: Sequence[PlanNode]) -> list[PlanBucket]:
+        """Memoized twin of :func:`~repro.core.batching.bucket_plans`.
+
+        Identical contract — canonical sorted-by-signature bucket order,
+        arrival order within a bucket — but structures resolve through
+        :meth:`_resolve_plan`.  Buckets merge on ``graph.signature`` (not
+        the memo key): distinct physical ops can share a logical
+        signature and must land in one bucket, exactly as the uncached
+        helper groups them.
+        """
+        buckets: dict[str, PlanBucket] = {}
+        for index, plan in enumerate(plans):
+            graph, nodes = self._resolve_plan(plan)
+            bucket = buckets.get(graph.signature)
+            if bucket is None:
+                bucket = buckets[graph.signature] = PlanBucket(graph, [], [])
+            bucket.indices.append(index)
+            bucket.nodes.append(nodes)
+        return [buckets[signature] for signature in sorted(buckets)]
+
     # ------------------------------------------------------------------
     # Level-fused whole-batch execution
     # ------------------------------------------------------------------
@@ -132,7 +255,7 @@ class InferenceSession:
         # Canonical (sorted-by-signature) bucket order: matches the order
         # group_by_structure/PreGroupedCorpus produce, so serving and
         # training share cached level plans for the same structure mix.
-        ordered = bucket_plans(plans)  # callers guarantee plans is non-empty
+        ordered = self._bucket(plans)  # callers guarantee plans is non-empty
         level_plan = self.model.compile_level_plan([b.graph for b in ordered])
         features = [
             self._featurize_bucket(bucket.graph.signature, bucket)
@@ -152,28 +275,105 @@ class InferenceSession:
             yield bucket, outputs
 
     def _featurize_bucket(self, signature: str, bucket: PlanBucket) -> list[np.ndarray]:
-        """Column-vectorized ``F(op)`` matrices per position of a bucket.
+        """Compiled ``F(op)`` matrices per position of a bucket.
 
-        All positions sharing a logical type are featurized in one
-        ``transform_aligned`` call (their schema and vector width are
-        identical), position-major; each position's ``(B, f_type)``
-        matrix is then a contiguous row-slice view of the combined
-        buffer.
+        All positions sharing a logical type run through one
+        :class:`~repro.featurize.compiled.FeatureProgram` call
+        (their schema and vector width are identical), position-major;
+        each position's ``(B, f_type)`` matrix is then a contiguous
+        row-slice view of the combined buffer.
+
+        When the feature-vector cache is enabled, each plan is first
+        looked up by its identity digest: hit rows are strided copies of
+        the cached blocks (plan ``j``'s rows are ``out[j::n_plans]`` in
+        the position-major buffer), and only the missing plans are
+        featurized — into a staging buffer when the bucket is partially
+        hit, or straight into the pooled buffer when fully cold.
         """
         graph = bucket.graph
         n_plans = len(bucket.indices)
-        positions_by_type: dict = {}
-        for pos, ltype in enumerate(graph.types):
-            positions_by_type.setdefault(ltype, []).append(pos)
+        layout = self.programs.layout(graph)
+        cache = self.feature_cache
+        digests: list[tuple] = []
+        entries: Optional[list] = None
+        miss: Sequence[int] = range(n_plans)
+        if cache is not None:
+            digests = self.programs.digests(graph, bucket.nodes)
+            get = cache.get
+            entries = [get(digest) for digest in digests]
+            miss = [j for j, entry in enumerate(entries) if entry is None]
+        # Per-miss-plan blocks to insert after the fill (copies: the
+        # pooled buffer is overwritten by the next batch).
+        new_blocks: dict[int, dict] = (
+            {j: {} for j in miss} if cache is not None and miss else {}
+        )
         stacked: list[np.ndarray] = [np.empty(0)] * graph.n_nodes
-        for ltype, positions in positions_by_type.items():
-            out = self._pool.take(
-                (signature, ltype), (n_plans * len(positions), self._widths[ltype])
-            )
-            nodes = [
-                plan_nodes[pos] for pos in positions for plan_nodes in bucket.nodes
-            ]
-            self.featurizer.transform_aligned(nodes, out=out)
+        for program, positions in layout:
+            ltype = program.ltype
+            k_n = len(positions)
+            width = self._widths[ltype]
+            out = self._pool.take((signature, ltype), (n_plans * k_n, width))
+            if entries is None or len(miss) == n_plans:
+                # Cold bucket (or caching disabled): run the program
+                # straight into the pooled buffer, position-major.
+                nodes = [
+                    plan_nodes[pos] for pos in positions for plan_nodes in bucket.nodes
+                ]
+                program.run(nodes, out=out)
+            else:
+                # Mixed hit/miss: featurize only the missing plans into a
+                # staging buffer, then assemble the position-major pooled
+                # buffer with ONE stack per type (plan ``j``'s rows are
+                # ``out[j::n_plans]`` — stacking the per-plan ``(k_n,
+                # width)`` blocks along axis 1 writes exactly that).
+                rows: list = [None] * n_plans
+                if miss:
+                    n_miss = len(miss)
+                    temp = self._pool.take(
+                        (signature, ltype, "miss"), (n_miss * k_n, width)
+                    )
+                    program.run(
+                        [bucket.nodes[j][pos] for pos in positions for j in miss],
+                        out=temp,
+                    )
+                    for m, j in enumerate(miss):
+                        rows[j] = temp[m::n_miss]
+                for j, entry in enumerate(entries):
+                    if entry is not None:
+                        rows[j] = entry[ltype]
+                np.stack(rows, axis=1, out=out.reshape(k_n, n_plans, width))
+            for j in new_blocks:
+                new_blocks[j][ltype] = out[j::n_plans].copy()
             for k, pos in enumerate(positions):
                 stacked[pos] = out[k * n_plans : (k + 1) * n_plans]
+        for j, blocks in new_blocks.items():
+            cache.put(digests[j], blocks)
         return stacked
+
+    def _featurize_plan(self, graph, nodes: list[PlanNode]) -> list[np.ndarray]:
+        """Per-position ``(1, f_type)`` feature rows for one plan.
+
+        Single-plan twin of :meth:`_featurize_bucket`: same programs,
+        same cache, no pooled stacking buffers (each block is one small
+        allocation that the cache retains on a miss).
+        """
+        cache = self.feature_cache
+        blocks: Optional[dict] = None
+        digest: tuple = ()
+        if cache is not None:
+            digest = self.programs.digest(graph, nodes)
+            blocks = cache.get(digest)
+        features: list[np.ndarray] = [np.empty(0)] * graph.n_nodes
+        if blocks is None:
+            blocks = {}
+            for program, positions in self.programs.layout(graph):
+                blocks[program.ltype] = program.run(
+                    [nodes[pos] for pos in positions], dtype=self.dtype
+                )
+            if cache is not None:
+                cache.put(digest, blocks)
+        for program, positions in self.programs.layout(graph):
+            block = blocks[program.ltype]
+            for k, pos in enumerate(positions):
+                features[pos] = block[k : k + 1]
+        return features

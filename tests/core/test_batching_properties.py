@@ -100,6 +100,55 @@ class TestGrouping:
                 )
 
 
+class TestPreGroupedFromSamples:
+    """``PreGroupedCorpus.from_samples`` (the compiled-featurization
+    construction) must be bitwise equivalent to the reference
+    vectorize-then-group construction in every stored matrix."""
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_bitwise_equal_to_reference(self, samples, vectorized, dtype):
+        from repro.core import PreGroupedCorpus
+
+        featurizer = Featurizer().fit([s.plan for s in samples])
+        reference = PreGroupedCorpus(
+            vectorize_corpus(samples, featurizer), dtype=dtype
+        )
+        compiled = PreGroupedCorpus.from_samples(samples, featurizer, dtype=dtype)
+        assert compiled.dtype == np.dtype(dtype)
+        assert compiled.n_plans == reference.n_plans
+        assert compiled.n_structures == reference.n_structures
+        assert np.array_equal(compiled._group_of, reference._group_of)
+        assert np.array_equal(compiled._row_of, reference._row_of)
+        for got, want in zip(compiled.groups, reference.groups):
+            assert got.graph.signature == want.graph.signature
+            assert got.labels.dtype == want.labels.dtype
+            assert np.array_equal(got.labels, want.labels)
+            for pos in range(want.graph.n_nodes):
+                assert got.features[pos].dtype == want.features[pos].dtype
+                assert np.array_equal(got.features[pos], want.features[pos])
+
+    def test_gather_matches_reference_gather(self, samples):
+        from repro.core import PreGroupedCorpus
+
+        featurizer = Featurizer().fit([s.plan for s in samples])
+        reference = PreGroupedCorpus(vectorize_corpus(samples, featurizer))
+        compiled = PreGroupedCorpus.from_samples(samples, featurizer)
+        rng = np.random.default_rng(9)
+        indices = rng.permutation(len(samples))[:16]
+        for got, want in zip(compiled.gather(indices), reference.gather(indices)):
+            assert got.graph.signature == want.graph.signature
+            assert np.array_equal(got.labels, want.labels)
+            for pos in range(want.graph.n_nodes):
+                assert np.array_equal(got.features[pos], want.features[pos])
+
+    def test_empty_rejected(self, samples):
+        from repro.core import PreGroupedCorpus
+
+        featurizer = Featurizer().fit([s.plan for s in samples])
+        with pytest.raises(ValueError):
+            PreGroupedCorpus.from_samples([], featurizer)
+
+
 class TestSampleBatches:
     @given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=2**31 - 1))
     @settings(max_examples=30, deadline=None)

@@ -88,6 +88,44 @@ class TestTransformAligned:
         with pytest.raises(RuntimeError):
             Featurizer().transform_aligned([next(corpus[0].plan.preorder())])
 
+    def test_empty_nodes_raises(self, fitted):
+        """An empty node list has no logical type to resolve a schema
+        from: a loud ValueError, not a shape-(0, ?) guess."""
+        featurizer, _ = fitted
+        with pytest.raises(ValueError):
+            featurizer.transform_aligned([])
+
+    def test_unknown_onehot_category_matches_scalar(self, fitted):
+        from repro.plans import LogicalType, PlanNode
+
+        featurizer, corpus = fitted
+        scan = next(
+            n
+            for s in corpus
+            for n in s.plan.preorder()
+            if n.logical_type == LogicalType.SCAN
+        )
+        unknown = PlanNode(
+            scan.op,
+            dict(scan.props, **{"Relation Name": "no_such_relation"}),
+            scan.children,
+        )
+        matrix = featurizer.transform_aligned([unknown, scan])
+        assert np.array_equal(matrix[0], featurizer.transform_node(unknown))
+        assert np.array_equal(matrix[1], featurizer.transform_node(scan))
+
+    def test_extra_numeric_fn_matches_scalar(self, fitted):
+        _, corpus = fitted
+        featurizer = Featurizer(
+            extra_numeric_fn=lambda node: [float(len(node.children))]
+        )
+        featurizer.fit([s.plan for s in corpus[:20]])
+        node_lists = max(_buckets(corpus[:20]).values(), key=len)
+        nodes = [nl[0] for nl in node_lists]
+        matrix = featurizer.transform_aligned(nodes)
+        for row, node in zip(matrix, nodes):
+            assert np.array_equal(row, featurizer.transform_node(node))
+
 
 class TestBufferPool:
     def test_reuses_backing_allocation(self):

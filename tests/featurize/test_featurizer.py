@@ -116,6 +116,50 @@ class TestFeaturizer:
             b = featurizer.transform_node(scans[names[1]])
             assert not np.allclose(a, b)
 
+    def test_extra_arity_fixed_at_fit(self, corpus):
+        """``_n_extra`` is computed once at fit() and never mutated on
+        the transform path; a hook that changes arity afterwards fails
+        loudly instead of silently shifting the whitened columns."""
+        calls = {"n": 0}
+
+        def hook(node):
+            calls["n"] += 1
+            return [1.0, 2.0]
+
+        featurizer = Featurizer(extra_numeric_fn=hook)
+        plans = [s.plan for s in corpus[:8]]
+        featurizer.fit(plans)
+        assert featurizer._n_extra == 2
+        node = next(plans[0].preorder())
+        before = featurizer.transform_node(node)
+        featurizer.transform_node(node)
+        assert featurizer._n_extra == 2  # hot path never rewrites it
+        assert featurizer.feature_size(node.logical_type) == before.shape[0]
+        featurizer.extra_numeric_fn = lambda n: [1.0, 2.0, 3.0]
+        with pytest.raises(ValueError):
+            featurizer.transform_node(node)
+
+    def test_post_fit_attach_detach_rejected(self, corpus):
+        plans = [s.plan for s in corpus[:8]]
+        plain = Featurizer().fit(plans)
+        with pytest.raises(ValueError):
+            plain.extra_numeric_fn = lambda n: [1.0]  # attach after fit
+        withextra = Featurizer(extra_numeric_fn=lambda n: [1.0]).fit(plans)
+        with pytest.raises(ValueError):
+            withextra.extra_numeric_fn = None  # detach after fit
+
+    def test_reattach_after_deserialize_allowed(self, corpus):
+        from repro.featurize.serialize import featurizer_from_dict, featurizer_to_dict
+
+        plans = [s.plan for s in corpus[:8]]
+        fitted = Featurizer(extra_numeric_fn=lambda n: [3.5]).fit(plans)
+        node = next(plans[0].preorder())
+        reference = fitted.transform_node(node)
+        restored = featurizer_from_dict(featurizer_to_dict(fitted))
+        assert restored._n_extra == 1
+        restored.extra_numeric_fn = lambda n: [3.5]  # the one legal mutation
+        assert np.array_equal(restored.transform_node(node), reference)
+
     def test_whitening_roughly_centred(self, featurizer, corpus):
         rows = []
         for sample in corpus:

@@ -80,6 +80,81 @@ class TestBatchAgreement:
         assert np.array_equal(first, again)
 
 
+class TestFeatureCache:
+    def test_warm_cache_is_bitwise_identical(self, model, corpus):
+        """A cache hit returns exactly the rows a miss would compute:
+        warm predictions equal cold ones bit for bit."""
+        plans = [s.plan for s in corpus]
+        session = InferenceSession(model)
+        cold = session.predict_batch(plans)
+        stats = session.stats()
+        assert stats.feature_cache_misses == len(plans)
+        assert stats.feature_cache_hits == 0
+        warm = session.predict_batch(plans)
+        stats = session.stats()
+        assert stats.feature_cache_hits == len(plans)  # every plan hit
+        assert np.array_equal(cold, warm)
+
+    def test_disabled_cache_agrees(self, model, corpus):
+        plans = [s.plan for s in corpus]
+        cached = InferenceSession(model)
+        uncached = InferenceSession(model, feature_cache_size=None)
+        assert uncached.feature_cache is None
+        cached.predict_batch(plans)  # fill
+        assert np.array_equal(cached.predict_batch(plans), uncached.predict_batch(plans))
+        stats = uncached.stats()
+        assert stats.feature_cache_hits == stats.feature_cache_misses == 0
+        assert stats.feature_cache_entries == 0
+
+    def test_bounded_eviction(self, model, corpus):
+        plans = [s.plan for s in corpus]
+        session = InferenceSession(model, feature_cache_size=4)
+        session.predict_batch(plans)
+        stats = session.stats()
+        assert stats.feature_cache_entries <= 4
+        assert stats.feature_cache_evictions > 0
+        # Still correct after (heavy) eviction churn.
+        reference = InferenceSession(model, feature_cache_size=None).predict_batch(plans)
+        assert np.array_equal(session.predict_batch(plans), reference)
+
+    def test_single_plan_predict_shares_the_cache(self, model, corpus):
+        plan = corpus[0].plan
+        session = InferenceSession(model)
+        first = session.predict(plan)
+        stats = session.stats()
+        assert (stats.feature_cache_misses, stats.feature_cache_hits) == (1, 0)
+        assert session.predict(plan) == first
+        assert session.stats().feature_cache_hits == 1
+        # predict_batch hits the entry predict populated (one shared
+        # digest scheme across both paths).
+        session.predict_batch([plan])
+        assert session.stats().feature_cache_hits == 2
+
+    def test_parameter_change_misses(self, model, corpus):
+        """Same structure, different property values -> distinct cache
+        entries, never a stale hit."""
+        from repro.plans import PlanNode
+
+        session = InferenceSession(model)
+        plan = corpus[0].plan
+        session.predict(plan)
+        mutated = PlanNode(plan.op, dict(plan.props, **{"Total Cost": 1e18}), plan.children)
+        session.predict(mutated)
+        stats = session.stats()
+        assert stats.feature_cache_hits == 0
+        assert stats.feature_cache_misses == 2
+        assert stats.feature_cache_entries == 2
+
+    def test_stats_snapshot(self, model, corpus):
+        session = InferenceSession(model)
+        plans = [s.plan for s in corpus[:8]]
+        session.predict_batch(plans)
+        session.predict(plans[0])
+        stats = session.stats()
+        assert stats.requests_served == len(plans) + 1
+        assert stats.feature_cache_hits + stats.feature_cache_misses > 0
+
+
 class TestScheduleCache:
     def test_same_structure_returns_same_schedule_object(self, model, corpus):
         by_signature = {}

@@ -154,6 +154,57 @@ class TestCoalescing:
         service.stop(drain=False)
 
 
+class TestFeatureCacheStats:
+    def test_counters_surface_and_hits_match_uncached(self, corpus, plans):
+        """The session's feature-cache counters aggregate into
+        ``service.stats()``, and served-from-cache predictions equal the
+        cache-disabled reference at <= 1e-9 (bitwise, in fact: a hit is
+        exactly the rows a miss would compute)."""
+        model = make_model(corpus)
+        reference = InferenceSession(model, feature_cache_size=None).predict_batch(
+            plans
+        )
+        with PredictionService(model, max_batch_size=64, max_wait_ms=1.0) as service:
+            [h.result(timeout=30) for h in service.submit_many(plans)]  # cold
+            cold = service.stats()
+            warm_handles = service.submit_many(plans)  # every plan hits now
+            got = np.array([h.result(timeout=30) for h in warm_handles])
+            warm = service.stats()
+        # Cold accounting: every plan was either a miss or (for a plan
+        # whose identity twin landed in an earlier coalesced batch) a hit.
+        assert cold.feature_cache_hits + cold.feature_cache_misses == len(plans)
+        assert cold.feature_cache_misses > 0
+        assert warm.feature_cache_hits - cold.feature_cache_hits == len(plans)
+        assert warm.feature_cache_misses == cold.feature_cache_misses
+        assert np.max(np.abs(got - reference)) <= 1e-9
+
+    def test_counters_aggregate_across_routed_models(self, corpus, plans):
+        registry = ModelRegistry()
+        registry.register("a", make_model(corpus, seed=1))
+        registry.register("b", make_model(corpus, seed=2))
+        with PredictionService(registry, max_batch_size=32, max_wait_ms=1.0) as service:
+            handles = [service.submit(p, model="a") for p in plans[:8]]
+            handles += [service.submit(p, model="b") for p in plans[:8]]
+            [h.result(timeout=30) for h in handles]
+            stats = service.stats()
+        a = registry.session("a").stats()
+        b = registry.session("b").stats()
+        assert stats.feature_cache_misses == (
+            a.feature_cache_misses + b.feature_cache_misses
+        )
+        assert stats.feature_cache_hits == a.feature_cache_hits + b.feature_cache_hits
+        assert stats.feature_cache_misses >= 16
+
+    def test_disabled_cache_reports_zeros(self, corpus, plans):
+        session = InferenceSession(make_model(corpus), feature_cache_size=None)
+        with PredictionService(session, max_batch_size=32, max_wait_ms=1.0) as service:
+            [h.result(timeout=30) for h in service.submit_many(plans[:8])]
+            stats = service.stats()
+        assert stats.feature_cache_hits == 0
+        assert stats.feature_cache_misses == 0
+        assert stats.feature_cache_evictions == 0
+
+
 class TestRoutingAndHotSwap:
     def test_routes_to_named_model(self, corpus, plans):
         a, b = make_model(corpus, seed=1), make_model(corpus, seed=2)
