@@ -1,6 +1,16 @@
 """QPP Net core: neural units, plan-structured model, training."""
 
-from .bundle import load_bundle, save_bundle
+from .bundle import BundleCorruptError, load_bundle, save_bundle
+from .checkpoint import (
+    Checkpoint,
+    CheckpointCorruptError,
+    CheckpointError,
+    latest_valid_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    prune_checkpoints,
+    save_checkpoint,
+)
 from .batching import (
     BufferPool,
     PlanBucket,
@@ -35,6 +45,15 @@ __all__ = [
     "train_qppnet",
     "save_bundle",
     "load_bundle",
+    "BundleCorruptError",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "list_checkpoints",
+    "latest_valid_checkpoint",
+    "prune_checkpoints",
     "PlanGraph",
     "PlanBucket",
     "bucket_plans",

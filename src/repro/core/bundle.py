@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import zipfile
 from typing import Union
 
 from repro.featurize.serialize import featurizer_from_dict, featurizer_to_dict
@@ -26,6 +27,19 @@ PathLike = Union[str, "os.PathLike[str]"]
 WEIGHTS_FILE = "weights.npz"
 FEATURIZER_FILE = "featurizer.json"
 CONFIG_FILE = "config.json"
+
+
+class BundleCorruptError(RuntimeError):
+    """A bundle directory exists but one of its files cannot be loaded.
+
+    Distinct from ``FileNotFoundError`` (file missing entirely): this is
+    the torn-write / bit-rot / wrong-contents case.  ``path`` names the
+    offending file and the underlying parse error is ``__cause__``.
+    """
+
+    def __init__(self, path: str, reason: str) -> None:
+        self.path = path
+        super().__init__(f"corrupt bundle file {path}: {reason}")
 
 
 def save_bundle(model: QPPNet, directory: PathLike) -> str:
@@ -41,15 +55,36 @@ def save_bundle(model: QPPNet, directory: PathLike) -> str:
 
 
 def load_bundle(directory: PathLike) -> QPPNet:
-    """Rebuild a model saved by :func:`save_bundle`."""
+    """Rebuild a model saved by :func:`save_bundle`.
+
+    Raises ``FileNotFoundError`` when a bundle file is missing outright
+    and :class:`BundleCorruptError` — naming the offending file, with
+    the parse failure as ``__cause__`` — when a file exists but cannot
+    be decoded (truncated JSON, torn npz, mismatched weights).
+    """
     directory = str(directory)
     for required in (WEIGHTS_FILE, FEATURIZER_FILE, CONFIG_FILE):
         if not os.path.exists(os.path.join(directory, required)):
             raise FileNotFoundError(f"bundle at {directory} is missing {required}")
-    with open(os.path.join(directory, FEATURIZER_FILE)) as handle:
-        featurizer = featurizer_from_dict(json.load(handle))
-    with open(os.path.join(directory, CONFIG_FILE)) as handle:
-        config = QPPNetConfig(**json.load(handle))
+    featurizer_path = os.path.join(directory, FEATURIZER_FILE)
+    try:
+        with open(featurizer_path) as handle:
+            featurizer = featurizer_from_dict(json.load(handle))
+    except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError, ValueError) as error:
+        raise BundleCorruptError(featurizer_path, str(error)) from error
+    config_path = os.path.join(directory, CONFIG_FILE)
+    try:
+        with open(config_path) as handle:
+            config = QPPNetConfig(**json.load(handle))
+    except (json.JSONDecodeError, UnicodeDecodeError, TypeError, ValueError) as error:
+        raise BundleCorruptError(config_path, str(error)) from error
     model = QPPNet(featurizer, config)
-    model.load(os.path.join(directory, WEIGHTS_FILE))
+    weights_path = os.path.join(directory, WEIGHTS_FILE)
+    try:
+        model.load(weights_path)
+    except (zipfile.BadZipFile, OSError, ValueError, KeyError, EOFError) as error:
+        # np.load raises BadZipFile or EOFError on torn archives;
+        # load_state_dict raises KeyError/ValueError when the weights do
+        # not match the configured architecture.
+        raise BundleCorruptError(weights_path, str(error)) from error
     return model

@@ -1,0 +1,264 @@
+"""Atomic training checkpoints with exact-resume semantics.
+
+A long fit must survive being killed at any instant: a checkpoint that
+is half-written, or written but not yet durable, must never be mistaken
+for a good one, and resuming from the last good one must reproduce the
+uninterrupted run's loss trajectory *bitwise* (same batches, same
+updates, same floats).  Three mechanisms deliver that:
+
+**Atomic publication.**  :func:`save_checkpoint` writes the archive to a
+temporary file in the target directory, ``fsync``\\ s it, hashes the
+bytes, and publishes it with a single ``os.replace`` to its final name
+(then fsyncs the directory so the rename itself is durable).  A crash
+mid-write leaves only a ``.tmp`` file, which the scanner ignores.
+
+**Self-verifying names.**  The final filename embeds a content digest::
+
+    ckpt-<epoch:06d>-<sha256[:16]>.npz
+
+:func:`load_checkpoint` re-hashes the file and raises
+:class:`CheckpointCorruptError` on mismatch, so silent on-disk
+corruption (truncation, bit rot, a torn rename on a non-atomic
+filesystem) is detected before any state is restored.
+:func:`latest_valid_checkpoint` walks checkpoints newest-first and
+*skips* corrupt ones instead of failing — resume degrades to the last
+good epoch.
+
+**Complete state capture.**  One archive holds everything the epoch
+loop depends on:
+
+========================  ====================================================
+archive member            contents
+========================  ====================================================
+``__meta__``              0-d string array: JSON with ``format`` (version),
+                          ``epoch``, ``optimizer_class``, ``rng_state``
+                          (the generator's ``bit_generator.state`` dict),
+                          ``history`` (the :class:`TrainingHistory` lists),
+                          ``wall_clock_s`` and ``optimizer_scalars``
+``model/<param name>``    every named parameter array
+``opt/<key>``             every optimizer state array (momentum velocity,
+                          Adam moments — flat and per-parameter)
+========================  ====================================================
+
+Scalars ride in the JSON meta; arrays ride as native npz members, so a
+same-dtype round trip is bitwise (and JSON round-trips Python floats
+exactly).  ``repro.core.trainer`` wires this into ``Trainer.fit(...,
+checkpoint_dir=..., checkpoint_every=...)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Union
+
+import numpy as np
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Bump when the archive layout changes incompatibly.
+CHECKPOINT_FORMAT_VERSION = 1
+
+_DIGEST_CHARS = 16
+_CKPT_NAME_RE = re.compile(r"^ckpt-(\d{6})-([0-9a-f]{%d})\.npz$" % _DIGEST_CHARS)
+
+
+class CheckpointError(RuntimeError):
+    """Base class for checkpoint load/save failures."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file exists but cannot be trusted (torn write,
+    digest mismatch, unreadable archive, missing members)."""
+
+    def __init__(self, path: PathLike, reason: str) -> None:
+        self.path = str(path)
+        super().__init__(f"corrupt checkpoint {self.path}: {reason}")
+
+
+@dataclass
+class Checkpoint:
+    """A loaded, digest-verified checkpoint."""
+
+    epoch: int
+    model_state: dict[str, np.ndarray]
+    optimizer_state: dict[str, Any]  # arrays and scalars, merged
+    optimizer_class: str
+    rng_state: dict
+    history: dict[str, list] = field(default_factory=dict)
+    wall_clock_s: float = 0.0
+    path: Optional[str] = None
+
+
+def checkpoint_name(epoch: int, digest: str) -> str:
+    """Final filename for ``epoch`` with content ``digest`` (hex)."""
+    return f"ckpt-{epoch:06d}-{digest[:_DIGEST_CHARS]}.npz"
+
+
+def _file_digest(path: PathLike) -> str:
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+def save_checkpoint(
+    directory: PathLike,
+    *,
+    epoch: int,
+    model_state: dict[str, np.ndarray],
+    optimizer_state: dict[str, Any],
+    optimizer_class: str,
+    rng_state: dict,
+    history: Optional[dict[str, list]] = None,
+    wall_clock_s: float = 0.0,
+) -> Path:
+    """Durably write one checkpoint; returns the published path.
+
+    Write-temp + fsync + ``os.replace``: the final name only ever refers
+    to a complete, fsynced file, and it embeds the content digest so the
+    loader can verify it byte-for-byte.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    opt_scalars: dict[str, Any] = {}
+    for name, value in model_state.items():
+        arrays[f"model/{name}"] = np.asarray(value)
+    for key, value in optimizer_state.items():
+        if isinstance(value, np.ndarray):
+            arrays[f"opt/{key}"] = value
+        else:
+            opt_scalars[key] = value
+    meta = {
+        "format": CHECKPOINT_FORMAT_VERSION,
+        "epoch": int(epoch),
+        "optimizer_class": optimizer_class,
+        "optimizer_scalars": opt_scalars,
+        "rng_state": rng_state,
+        "history": history or {},
+        "wall_clock_s": float(wall_clock_s),
+    }
+    arrays["__meta__"] = np.array(json.dumps(meta))
+
+    temp_path = directory / f".ckpt-{epoch:06d}.tmp"
+    try:
+        with open(temp_path, "wb") as handle:
+            np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        final_path = directory / checkpoint_name(epoch, _file_digest(temp_path))
+        os.replace(temp_path, final_path)
+    except BaseException:
+        temp_path.unlink(missing_ok=True)
+        raise
+    # Make the rename durable too (best-effort: not every OS/filesystem
+    # supports opening a directory for fsync).
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        pass
+    else:
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    return final_path
+
+
+def load_checkpoint(path: PathLike) -> Checkpoint:
+    """Load and digest-verify one checkpoint file.
+
+    Raises :class:`CheckpointCorruptError` when the file's bytes do not
+    match the digest in its name or the archive is unreadable, and
+    :class:`CheckpointError` for files not named by
+    :func:`checkpoint_name` at all.
+    """
+    path = Path(path)
+    match = _CKPT_NAME_RE.match(path.name)
+    if match is None:
+        raise CheckpointError(f"not a checkpoint filename: {path}")
+    if not path.exists():
+        raise CheckpointError(f"checkpoint does not exist: {path}")
+    expected = match.group(2)
+    actual = _file_digest(path)
+    if actual[:_DIGEST_CHARS] != expected:
+        raise CheckpointCorruptError(path, f"digest mismatch (file {actual[:_DIGEST_CHARS]}, name {expected})")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if "__meta__" not in archive.files:
+                raise CheckpointCorruptError(path, "missing __meta__ member")
+            try:
+                meta = json.loads(str(archive["__meta__"]))
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                raise CheckpointCorruptError(path, f"unreadable meta: {error}") from error
+            model_state: dict[str, np.ndarray] = {}
+            optimizer_state: dict[str, Any] = dict(meta.get("optimizer_scalars", {}))
+            for member in archive.files:
+                if member.startswith("model/"):
+                    model_state[member[len("model/"):]] = archive[member]
+                elif member.startswith("opt/"):
+                    optimizer_state[member[len("opt/"):]] = archive[member]
+    except CheckpointError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError, KeyError, EOFError) as error:
+        # np.load raises BadZipFile, EOFError or OSError on torn or
+        # truncated archives.
+        raise CheckpointCorruptError(path, f"unreadable archive: {error}") from error
+    if meta.get("format") != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointCorruptError(
+            path, f"format {meta.get('format')!r} != {CHECKPOINT_FORMAT_VERSION}"
+        )
+    return Checkpoint(
+        epoch=int(meta["epoch"]),
+        model_state=model_state,
+        optimizer_state=optimizer_state,
+        optimizer_class=str(meta.get("optimizer_class", "")),
+        rng_state=meta["rng_state"],
+        history={key: list(value) for key, value in meta.get("history", {}).items()},
+        wall_clock_s=float(meta.get("wall_clock_s", 0.0)),
+        path=str(path),
+    )
+
+
+def list_checkpoints(directory: PathLike) -> list[Path]:
+    """All published checkpoint files under ``directory``, oldest first.
+
+    Temp files and foreign names never match the checkpoint pattern, so
+    a crash mid-save cannot surface here.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = [p for p in directory.iterdir() if _CKPT_NAME_RE.match(p.name)]
+    return sorted(found, key=lambda p: p.name)
+
+
+def latest_valid_checkpoint(directory: PathLike) -> Optional[Checkpoint]:
+    """Newest checkpoint that loads and digest-verifies, or ``None``.
+
+    Corrupt or torn files are skipped (not deleted): resume falls back
+    to the most recent epoch whose bytes check out.
+    """
+    for path in reversed(list_checkpoints(directory)):
+        try:
+            return load_checkpoint(path)
+        except CheckpointError:
+            continue
+    return None
+
+
+def prune_checkpoints(directory: PathLike, keep: int = 3) -> list[Path]:
+    """Delete all but the ``keep`` newest checkpoints; returns deletions."""
+    if keep < 1:
+        raise ValueError("keep must be >= 1")
+    doomed = list_checkpoints(directory)[:-keep]
+    for path in doomed:
+        path.unlink(missing_ok=True)
+    return doomed

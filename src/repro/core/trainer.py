@@ -85,6 +85,7 @@ from .batching import (
     sample_batches,
     vectorize_corpus,
 )
+from .checkpoint import latest_valid_checkpoint, save_checkpoint
 from .compile import CompiledSchedule
 from .config import QPPNetConfig
 from .model import QPPNet
@@ -365,12 +366,29 @@ class Trainer:
         eval_fn: Optional[Callable[[QPPNet], float]] = None,
         eval_every: int = 0,
         verbose: bool = False,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 0,
+        resume: bool = True,
+        epoch_hook: Optional[Callable[[int], None]] = None,
     ) -> TrainingHistory:
         """Train on analyzed plans; returns the per-epoch history.
 
         ``eval_fn(model)`` (e.g. test-set MAE) is recorded every
         ``eval_every`` epochs — used by the Figure 9b/9c convergence
         experiment.
+
+        With ``checkpoint_dir`` set, an atomic digest-verified
+        checkpoint (:mod:`repro.core.checkpoint`) of the complete
+        training state — parameters, optimizer state, rng state, epoch
+        counter, history — is written every ``checkpoint_every`` epochs
+        (and at the final epoch); when ``resume`` is true and the
+        directory holds a valid checkpoint, the fit restores it and
+        continues from the next epoch, reproducing the uninterrupted
+        run's loss trajectory exactly (torn or corrupt checkpoint files
+        are skipped in favour of the newest valid one).  ``epoch_hook``
+        fires after each epoch's bookkeeping (and after its checkpoint,
+        so a crash inside the hook is resumable) — the fault-injection
+        seam used by :mod:`repro.testing.faults`.
 
         The tape-free engines build their epoch-level
         :class:`PreGroupedCorpus` straight from the samples via the
@@ -384,9 +402,14 @@ class Trainer:
             pre_grouped = PreGroupedCorpus.from_samples(
                 samples, self.model.featurizer, dtype=self.config.np_dtype
             )
-            return self._run_fit(None, pre_grouped, epochs, eval_fn, eval_every, verbose)
-        corpus = vectorize_corpus(samples, self.model.featurizer)
-        return self._run_fit(corpus, None, epochs, eval_fn, eval_every, verbose)
+            corpus = None
+        else:
+            corpus = vectorize_corpus(samples, self.model.featurizer)
+            pre_grouped = None
+        return self._run_fit(
+            corpus, pre_grouped, epochs, eval_fn, eval_every, verbose,
+            checkpoint_dir, checkpoint_every, resume, epoch_hook,
+        )
 
     def fit_vectorized(
         self,
@@ -395,6 +418,10 @@ class Trainer:
         eval_fn: Optional[Callable[[QPPNet], float]] = None,
         eval_every: int = 0,
         verbose: bool = False,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 0,
+        resume: bool = True,
+        epoch_hook: Optional[Callable[[int], None]] = None,
     ) -> TrainingHistory:
         """:meth:`fit` over an already-vectorized corpus.
 
@@ -404,14 +431,17 @@ class Trainer:
         engine (``fused`` whole-batch level plans by default,
         ``compiled`` per-group schedules) over an epoch-level
         :class:`PreGroupedCorpus`; everything else runs the taped
-        reference loop.
+        reference loop.  Checkpoint/resume parameters as in :meth:`fit`.
         """
         pre_grouped = (
             PreGroupedCorpus(corpus, dtype=self.config.np_dtype)
             if self.uses_compiled_engine
             else None
         )
-        return self._run_fit(corpus, pre_grouped, epochs, eval_fn, eval_every, verbose)
+        return self._run_fit(
+            corpus, pre_grouped, epochs, eval_fn, eval_every, verbose,
+            checkpoint_dir, checkpoint_every, resume, epoch_hook,
+        )
 
     def _run_fit(
         self,
@@ -421,6 +451,10 @@ class Trainer:
         eval_fn: Optional[Callable[[QPPNet], float]],
         eval_every: int,
         verbose: bool,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 0,
+        resume: bool = True,
+        epoch_hook: Optional[Callable[[int], None]] = None,
     ) -> TrainingHistory:
         """Shared epoch loop behind :meth:`fit` / :meth:`fit_vectorized`.
 
@@ -429,6 +463,8 @@ class Trainer:
         which before calling in.
         """
         epochs = epochs if epochs is not None else self.config.epochs
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
         rng = np.random.default_rng(self.config.seed + 7)
         scheduler = None
         if self.config.lr_decay_every and hasattr(self.optimizer, "lr"):
@@ -442,8 +478,30 @@ class Trainer:
         # one LevelPlan serves the entire fit (no per-subset recompiles).
         pad = _corpus_group_padder(pre_grouped) if fused else None
         history = TrainingHistory()
-        start = time.perf_counter()
-        for epoch in range(1, epochs + 1):
+        start_epoch = 0
+        wall_offset = 0.0
+        if checkpoint_dir is not None and resume:
+            loaded = latest_valid_checkpoint(checkpoint_dir)
+            if loaded is not None:
+                self.model.load_state_dict(loaded.model_state)
+                self.optimizer.load_state_dict(loaded.optimizer_state)
+                # The epoch loop's rng state at the checkpoint boundary:
+                # restoring it replays the exact batch sequence the
+                # uninterrupted run would have drawn.
+                rng.bit_generator.state = loaded.rng_state
+                for key, values in loaded.history.items():
+                    getattr(history, key).extend(values)
+                start_epoch = loaded.epoch
+                wall_offset = loaded.wall_clock_s
+                if scheduler is not None:
+                    # lr itself came back with the optimizer state; the
+                    # scheduler only needs its epoch count to keep the
+                    # decay cadence aligned.
+                    scheduler._epoch = start_epoch
+                if verbose:
+                    print(f"resumed from {loaded.path} at epoch {start_epoch}")
+        start = time.perf_counter() - wall_offset
+        for epoch in range(start_epoch + 1, epochs + 1):
             epoch_losses = []
             if tape_free:
                 for groups in pre_grouped.iter_batches(
@@ -472,7 +530,38 @@ class Trainer:
                     f"epoch {epoch:4d}  loss={history.train_loss[-1]:.5f}  "
                     f"t={history.wall_clock_s[-1]:.1f}s"
                 )
+            if checkpoint_dir is not None and checkpoint_every and (
+                epoch % checkpoint_every == 0 or epoch == epochs
+            ):
+                self._save_checkpoint(checkpoint_dir, epoch, rng, history)
+            if epoch_hook is not None:
+                epoch_hook(epoch)
         return history
+
+    def _save_checkpoint(
+        self,
+        checkpoint_dir: str,
+        epoch: int,
+        rng: np.random.Generator,
+        history: TrainingHistory,
+    ) -> None:
+        """Snapshot the complete fit state after ``epoch`` completed."""
+        save_checkpoint(
+            checkpoint_dir,
+            epoch=epoch,
+            model_state=self.model.state_dict(),
+            optimizer_state=self.optimizer.state_dict(),
+            optimizer_class=type(self.optimizer).__name__,
+            rng_state=rng.bit_generator.state,
+            history={
+                "epochs": history.epochs,
+                "train_loss": history.train_loss,
+                "wall_clock_s": history.wall_clock_s,
+                "eval_epochs": history.eval_epochs,
+                "eval_values": history.eval_values,
+            },
+            wall_clock_s=history.wall_clock_s[-1] if history.wall_clock_s else 0.0,
+        )
 
 
 def train_qppnet(

@@ -115,6 +115,19 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """All mutable optimizer state (scalars and numpy arrays).
+
+        The contract is exact-resume: ``load_state_dict(state_dict())``
+        on a fresh optimizer over the same parameters reproduces the
+        update sequence bitwise.  Used by :mod:`repro.core.checkpoint`.
+        """
+        raise NotImplementedError
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        raise NotImplementedError
+
     def step_flat(self, space: FlatParameterSpace) -> None:
         """Fused update over a :class:`FlatParameterSpace` (if supported)."""
         raise NotImplementedError(f"{type(self).__name__} has no fused step")
@@ -182,6 +195,23 @@ class SGD(Optimizer):
         velocity -= self.lr * grad
         space.data += velocity
 
+    def state_dict(self) -> dict:
+        state: dict = {"lr": self.lr, "momentum": self.momentum, "weight_decay": self.weight_decay}
+        for index, velocity in enumerate(self._velocity):
+            state[f"velocity.{index}"] = velocity.copy()
+        if self._flat_velocity is not None:
+            state["flat_velocity"] = self._flat_velocity.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
+        for index, velocity in enumerate(self._velocity):
+            np.copyto(velocity, state[f"velocity.{index}"])
+        flat = state.get("flat_velocity")
+        self._flat_velocity = None if flat is None else np.array(flat, copy=True)
+
 
 class Adam(Optimizer):
     """Adam (Kingma & Ba, ICLR'15) — the paper's suggested alternative."""
@@ -242,6 +272,41 @@ class Adam(Optimizer):
         v *= self.beta2
         v += (1.0 - self.beta2) * grad**2
         space.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def state_dict(self) -> dict:
+        state: dict = {
+            "lr": self.lr,
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "eps": self.eps,
+            "weight_decay": self.weight_decay,
+            "t": self._t,
+        }
+        for index, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{index}"] = m.copy()
+            state[f"v.{index}"] = v.copy()
+        if self._flat_m is not None:
+            state["flat_m"] = self._flat_m.copy()
+            state["flat_v"] = self._flat_v.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._t = int(state["t"])
+        for index, (m, v) in enumerate(zip(self._m, self._v)):
+            np.copyto(m, state[f"m.{index}"])
+            np.copyto(v, state[f"v.{index}"])
+        flat_m = state.get("flat_m")
+        if flat_m is None:
+            self._flat_m = None
+            self._flat_v = None
+        else:
+            self._flat_m = np.array(flat_m, copy=True)
+            self._flat_v = np.array(state["flat_v"], copy=True)
 
 
 class StepLR:

@@ -39,15 +39,103 @@ request-shaped, not batch-shaped.  Three tiers, top to bottom:
 :class:`ModelRegistry` manages the named models behind all of it
 (in-memory or loaded from :func:`~repro.core.bundle.save_bundle`
 directories), one long-lived warmed session per model.
+
+Failure-mode contract
+---------------------
+Every operational failure is a typed :class:`ServiceError` subclass;
+``except ServiceError`` catches them all, and the concrete type says
+which guard fired.  The full contract — every error, when it fires, and
+what state it leaves behind:
+
+**Rejected at the submit site** (nothing queues; for ``submit_many``
+the whole burst is rejected all-or-nothing):
+
+* :class:`InvalidPlanError` — a plan failed
+  :func:`repro.plans.validate.validate_plan` (wrong arity, missing
+  properties, negative estimates); the underlying
+  :class:`~repro.plans.validate.PlanValidationError` is ``__cause__``.
+* :class:`UnknownModelError` — the request routed to a name the
+  registry does not hold (or no default model is configured).
+* :class:`QueueFullError` — bounded-queue backpressure
+  (``max_queue_depth``).
+* :class:`AdmissionRejected` — the caller-supplied ``admission_hook``
+  refused the request.
+* :class:`DeadlineExceededError` (``shed_at="admission"``) — the
+  service's own queue-wait prediction (drain-rate EWMA x queue depth +
+  coalescing window) already exceeds the request's ``deadline_ms``.
+* :class:`CircuitOpenError` — the routed model's breaker is open and no
+  fallback chain is configured (with a chain, the request is admitted
+  and served degraded).
+* :class:`ServiceStoppedError` — the service is stopped.
+
+**Failed at execution** (delivered through the :class:`Prediction`
+handle; all other requests of the coalesced batch are unaffected):
+
+* :class:`DeadlineExceededError` (``shed_at="execution"``) — the
+  deadline expired in the queue; the request was shed before the
+  forward pass (it consumed no model time).
+* :class:`NonFinitePrediction` — the model produced NaN/Inf for this
+  plan.  Raised by :meth:`InferenceSession.predict_batch` itself
+  (naming model and plan signatures, never returned silently) and
+  treated by the service as a *poison request*: only the offending
+  handles fail, the rest of the batch completes.
+* **Poison isolation** — any other error out of a coalesced batch
+  triggers bisection: the batch is split and retried down to
+  singletons, so exactly the offending request(s) fail with the
+  underlying error and every healthy request completes.  The bisection
+  probes only *identify* the poison; the full survivor set is then
+  recomputed as one batch, so delivered values are bit-identical to a
+  run that coalesced exactly the surviving requests — and a transient
+  fault (fail once, succeed on retry) recovers with zero failures and
+  values bit-identical to the fault-free run.
+* :class:`CircuitOpenError` — the breaker opened while the request was
+  queued (fast-failed without touching the model; only without a
+  fallback chain).
+
+**Degraded operation** (requests *complete*, flagged in ``stats()``):
+
+* A model whose primary fused path fails terminally — or whose breaker
+  is open — is served through the configured
+  :class:`~repro.serving.resilience.FallbackChain`
+  (:func:`~repro.serving.resilience.default_fallback_chain`: taped
+  per-plan reference, then the :mod:`repro.optimizer.cost` heuristic);
+  ``fallback_completed`` counts these.
+* The per-model :class:`~repro.serving.resilience.CircuitBreaker`
+  opens after ``breaker_threshold`` consecutive whole-batch failures,
+  fast-rejects (or falls back) while open, admits half-open probes
+  after ``breaker_reset_ms``, and closes on the first probe success;
+  ``breaker_states`` in ``stats()`` exposes each model's state.
+
+State guarantees: a submit-site rejection leaves nothing queued and no
+counters but ``rejected`` (and the specific shed counter) touched; an
+execution failure settles exactly the affected handles (stats are
+committed before handle events fire); the drain loop itself survives
+every failure above — a wedged worker would strand futures, so the
+last-resort containment in ``_safe_execute`` fails the batch rather
+than the thread.  All of it is observable: ``deadline_rejected``,
+``deadline_expired``, ``poison_isolated``, ``fallback_completed``,
+``breaker_rejected`` and ``breaker_states`` ride along
+:class:`ServiceStats`.
 """
 
 from .registry import ModelRegistry
+from .resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    FallbackChain,
+    InvalidPlanError,
+    NonFinitePrediction,
+    ResiliencePolicy,
+    ServiceError,
+    default_fallback_chain,
+    heuristic_latency_ms,
+)
 from .service import (
     AdmissionRejected,
     Prediction,
     PredictionService,
     QueueFullError,
-    ServiceError,
     ServiceStats,
     ServiceStoppedError,
     UnknownModelError,
@@ -63,6 +151,15 @@ __all__ = [
     "AdmissionRejected",
     "ServiceStoppedError",
     "UnknownModelError",
+    "InvalidPlanError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "NonFinitePrediction",
+    "ResiliencePolicy",
+    "CircuitBreaker",
+    "FallbackChain",
+    "default_fallback_chain",
+    "heuristic_latency_ms",
     "InferenceSession",
     "SessionStats",
     "ModelRegistry",

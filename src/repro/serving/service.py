@@ -43,15 +43,25 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.model import QPPNet
 from repro.plans.node import PlanNode
+from repro.plans.validate import PlanValidationError, validate_plan
 
 from .registry import ModelRegistry
+from .resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    InvalidPlanError,
+    NonFinitePrediction,
+    ResiliencePolicy,
+    ServiceError,
+)
 from .session import InferenceSession
 
 #: Registry name used when the service wraps a bare model / session.
@@ -60,14 +70,15 @@ DEFAULT_MODEL_NAME = "default"
 #: Sample-window size for the latency / batch-size percentile estimates.
 STATS_WINDOW = 4096
 
+#: Smoothing factor for the drain-rate EWMA behind deadline admission
+#: (fraction of each new per-request service-time sample).
+DRAIN_EWMA_ALPHA = 0.2
+
 
 # ----------------------------------------------------------------------
-# Typed errors
+# Typed errors (ServiceError and the resilience errors live in
+# .resilience so the session can raise them without an import cycle).
 # ----------------------------------------------------------------------
-class ServiceError(RuntimeError):
-    """Base class for every PredictionService failure mode."""
-
-
 class QueueFullError(ServiceError):
     """Backpressure: the bounded request queue is at ``max_queue_depth``."""
 
@@ -111,6 +122,7 @@ class Prediction:
         "plan",
         "model",
         "submitted_at",
+        "deadline_at",
         "batch_size",
         "_event",
         "_value",
@@ -118,12 +130,21 @@ class Prediction:
         "_completed_at",
     )
 
-    def __init__(self, plan: PlanNode, model: str, submitted_at: float) -> None:
+    def __init__(
+        self,
+        plan: PlanNode,
+        model: str,
+        submitted_at: float,
+        deadline_at: Optional[float] = None,
+    ) -> None:
         self.plan = plan
         #: Registry name the request routes to.
         self.model = model
         #: ``time.monotonic()`` at admission.
         self.submitted_at = submitted_at
+        #: Monotonic instant after which the request is shed instead of
+        #: executed (``None`` = no deadline).
+        self.deadline_at = deadline_at
         #: Size of the fused forward this request executed in — its
         #: model's share of the coalesced batch (set on completion; how
         #: much fusion the request actually got).
@@ -193,6 +214,25 @@ class ServiceStats:
     feature_cache_hits: int = 0
     feature_cache_misses: int = 0
     feature_cache_evictions: int = 0
+    #: Requests shed at the submit site because the predicted queue wait
+    #: already exceeded their deadline (they never queued; also counted
+    #: in ``rejected``).
+    deadline_rejected: int = 0
+    #: Queued requests shed in the drain loop because their deadline
+    #: expired before execution (also counted in ``failed``).
+    deadline_expired: int = 0
+    #: Requests individually failed by poison isolation while the rest
+    #: of their coalesced batch completed (also counted in ``failed``).
+    poison_isolated: int = 0
+    #: Requests completed by a fallback-chain tier instead of the
+    #: primary fused path (also counted in ``completed``).
+    fallback_completed: int = 0
+    #: Requests fast-rejected by an open circuit breaker with no
+    #: fallback configured (also counted in ``failed``).
+    breaker_rejected: int = 0
+    #: Per-model breaker states (``closed`` / ``open`` / ``half_open``);
+    #: empty when circuit breaking is disabled.
+    breaker_states: dict = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -229,6 +269,12 @@ class PredictionService:
         bool`` run at the submit site, outside the service lock (it may
         freely call :meth:`stats`); ``False`` raises
         :class:`AdmissionRejected` before the request ever queues.
+    resilience:
+        The :class:`~repro.serving.resilience.ResiliencePolicy` governing
+        plan validation, deadlines, poison isolation, circuit breaking
+        and fallback (see the package docstring's failure-mode
+        contract).  Defaults to ``ResiliencePolicy()`` — validation,
+        isolation and a 5-strike breaker on; deadlines and fallback off.
     """
 
     def __init__(
@@ -240,6 +286,7 @@ class PredictionService:
         max_wait_ms: float = 2.0,
         max_queue_depth: int = 4096,
         admission_hook: Optional[AdmissionHook] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -266,6 +313,7 @@ class PredictionService:
         self.max_wait_ms = max_wait_ms
         self.max_queue_depth = max_queue_depth
         self.admission_hook = admission_hook
+        self.resilience = resilience if resilience is not None else ResiliencePolicy()
 
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -283,6 +331,17 @@ class PredictionService:
         self._batches = 0
         self._batch_sizes: deque[int] = deque(maxlen=STATS_WINDOW)
         self._latencies_ms: deque[float] = deque(maxlen=STATS_WINDOW)
+        # Resilience state: per-model breakers (lazily created under
+        # self._lock), the drain-rate EWMA behind deadline admission
+        # (ms of drain-loop time per request, updated per executed
+        # batch), and the shed/isolation/fallback counters.
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._drain_ms_per_request: Optional[float] = None
+        self._deadline_rejected = 0
+        self._deadline_expired = 0
+        self._poison_isolated = 0
+        self._fallback_completed = 0
+        self._breaker_rejected = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -364,29 +423,50 @@ class PredictionService:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def submit(self, plan: PlanNode, model: Optional[str] = None) -> Prediction:
+    def submit(
+        self,
+        plan: PlanNode,
+        model: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Prediction:
         """Admit one plan; returns its :class:`Prediction` handle.
 
-        Admission is synchronous and typed: routing, backpressure and the
-        admission hook all reject *here* (the returned handle, once you
-        hold one, can only fail through execution itself).  Requests may
-        be submitted before :meth:`start`; they queue until the drain
-        loop runs.
+        Admission is synchronous and typed: validation, routing,
+        backpressure, deadlines and the admission hook all reject *here*
+        (the returned handle, once you hold one, can only fail through
+        execution itself).  Requests may be submitted before
+        :meth:`start`; they queue until the drain loop runs.
+
+        ``deadline_ms`` bounds the request's total queue+execution
+        budget: if the service's own latency prediction says the queue
+        wait alone will blow it, the request is shed now
+        (:class:`DeadlineExceededError`, ``shed_at="admission"``); if
+        the deadline expires while queued, it is shed before execution
+        (``shed_at="execution"``) without paying a forward pass.
         """
-        return self.submit_many([plan], model=model)[0]
+        return self.submit_many([plan], model=model, deadline_ms=deadline_ms)[0]
 
     def submit_many(
-        self, plans: Sequence[PlanNode], model: Optional[str] = None
+        self,
+        plans: Sequence[PlanNode],
+        model: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> list[Prediction]:
         """Admit a burst of plans atomically (all-or-nothing).
 
         One lock acquisition admits the whole burst, so no caller is left
         holding handles for half an admitted burst: if the queue cannot
-        take ``len(plans)`` more requests, or the admission hook refuses
+        take ``len(plans)`` more requests, any member fails validation,
+        the deadline is already unmeetable, or the admission hook refuses
         any member, the typed error is raised and *nothing* queues.
         """
         if not plans:
             return []
+        policy = self.resilience
+        if deadline_ms is None:
+            deadline_ms = policy.default_deadline_ms
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
         if self._stopping or self._stopped:
             # Checked before routing and the admission hook so a stopped
             # service reports itself as stopped — never as a routing
@@ -399,6 +479,33 @@ class PredictionService:
             raise UnknownModelError("<default>", self.registry.names())
         if name not in self.registry:
             raise UnknownModelError(name, self.registry.names())
+        if policy.validate_plans:
+            # Boundary validation: a malformed plan is the submitter's
+            # bug and is rejected here, typed — never smuggled into a
+            # coalesced batch where its featurization error would read
+            # as a model failure (and, without isolation, fail innocent
+            # co-batched requests).
+            for plan in plans:
+                try:
+                    validate_plan(plan)
+                except PlanValidationError as error:
+                    with self._lock:
+                        self._rejected += len(plans)
+                    raise InvalidPlanError(str(error)) from error
+        breaker = self._breakers.get(name)
+        if (
+            breaker is not None
+            and policy.fallback is None
+            and not breaker.allow()
+        ):
+            # Open breaker, nothing to degrade to: fail fast at the
+            # submit site instead of queueing a request whose execution
+            # is already known to be rejected.  (With a fallback chain
+            # the request is admitted and served degraded.)
+            with self._lock:
+                self._rejected += len(plans)
+                self._breaker_rejected += len(plans)
+            raise CircuitOpenError(name, breaker.retry_after_ms())
         if self.admission_hook is not None:
             # Outside the service lock: the hook may inspect the service
             # itself (stats(), queue state) without deadlocking, and a
@@ -421,20 +528,49 @@ class PredictionService:
             if depth + len(plans) > self.max_queue_depth:
                 self._rejected += len(plans)
                 raise QueueFullError(depth)
+            if deadline_ms is not None and policy.admission_control:
+                # Deadline-aware admission: we are a latency predictor,
+                # so we predict our own.  The EWMA of drain-loop time
+                # per request (measured around every executed batch)
+                # times the work already queued ahead — plus one
+                # coalescing window — is the expected wait before this
+                # burst even starts executing.  If that alone exceeds
+                # the deadline, executing it would only produce an
+                # expired result: shed now, at the submit site.
+                rate = self._drain_ms_per_request
+                if rate is not None:
+                    predicted_wait_ms = (
+                        depth + len(plans)
+                    ) * rate + self.max_wait_ms
+                    if predicted_wait_ms > deadline_ms:
+                        self._rejected += len(plans)
+                        self._deadline_rejected += len(plans)
+                        raise DeadlineExceededError(
+                            f"predicted queue wait {predicted_wait_ms:.1f}ms exceeds "
+                            f"deadline {deadline_ms:.1f}ms ({depth} requests ahead)",
+                            deadline_ms=deadline_ms,
+                            shed_at="admission",
+                        )
             now = time.monotonic()
-            requests = [Prediction(plan, name, now) for plan in plans]
+            deadline_at = None if deadline_ms is None else now + deadline_ms / 1e3
+            requests = [Prediction(plan, name, now, deadline_at) for plan in plans]
             self._queue.extend(requests)
             self._submitted += len(requests)
             self._not_empty.notify()
         return requests
 
-    def predict(self, plan: PlanNode, model: Optional[str] = None) -> float:
+    def predict(
+        self,
+        plan: PlanNode,
+        model: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> float:
         """Convenience: ``submit`` + blocking ``result()``.
 
         One call still benefits from coalescing with *other* callers'
         in-flight requests, which is the whole point of the service.
         """
-        return self.submit(plan, model=model).result()
+        return self.submit(plan, model=model, deadline_ms=deadline_ms).result()
 
     # ------------------------------------------------------------------
     # Observability
@@ -447,6 +583,12 @@ class PredictionService:
             queue_depth = len(self._queue)
             submitted, completed = self._submitted, self._completed
             failed, rejected, batches = self._failed, self._rejected, self._batches
+            deadline_rejected = self._deadline_rejected
+            deadline_expired = self._deadline_expired
+            poison_isolated = self._poison_isolated
+            fallback_completed = self._fallback_completed
+            breaker_rejected = self._breaker_rejected
+            breakers = dict(self._breakers)
         p50, p99 = 0.0, 0.0
         if latencies:
             p50, p99 = (float(v) for v in np.percentile(latencies, [50, 99]))
@@ -476,6 +618,12 @@ class PredictionService:
             feature_cache_hits=cache_hits,
             feature_cache_misses=cache_misses,
             feature_cache_evictions=cache_evictions,
+            deadline_rejected=deadline_rejected,
+            deadline_expired=deadline_expired,
+            poison_isolated=poison_isolated,
+            fallback_completed=fallback_completed,
+            breaker_rejected=breaker_rejected,
+            breaker_states={name: b.state for name, b in breakers.items()},
         )
 
     # ------------------------------------------------------------------
@@ -534,54 +682,313 @@ class PredictionService:
     def _execute(self, batch: list[Prediction]) -> None:
         """Run one coalesced batch: one fused forward per routed model.
 
-        Stats are committed *before* each request's event fires, so a
-        caller who awaits its handles and then reads :meth:`stats` always
-        sees the batch that produced its results.
+        The resilience pipeline, per batch: expired-deadline requests are
+        shed first (no forward pass); each model group then runs behind
+        its circuit breaker, with poison isolation recovering healthy
+        requests from failing batches and the fallback chain (when
+        configured) serving groups whose primary path is down.  Stats are
+        committed *before* each request's event fires, so a caller who
+        awaits its handles and then reads :meth:`stats` always sees the
+        batch that produced its results.
         """
         with self._lock:
             self._batches += 1
             self._batch_sizes.append(len(batch))
+        started = time.monotonic()
+        batch = self._shed_expired(batch, started)
         by_model: dict[str, list[Prediction]] = {}
         for request in batch:
             by_model.setdefault(request.model, []).append(request)
         for name, requests in by_model.items():
-            try:
-                # Resolved per batch, not per request: this is the
-                # hot-swap point — a re-registered name takes effect on
-                # the next executed batch.
-                session = self.registry.session(name)
-            except KeyError:
-                failure: Optional[BaseException] = UnknownModelError(
-                    name, self.registry.names()
+            self._execute_model_group(name, requests)
+        if batch:
+            # Feed the deadline-admission predictor: drain-loop ms per
+            # request, smoothed.  Measured around the whole batch (all
+            # model groups) — that is what a queued request waits behind.
+            sample = (time.monotonic() - started) * 1e3 / len(batch)
+            with self._lock:
+                rate = self._drain_ms_per_request
+                self._drain_ms_per_request = (
+                    sample
+                    if rate is None
+                    else (1.0 - DRAIN_EWMA_ALPHA) * rate + DRAIN_EWMA_ALPHA * sample
+                )
+
+    def _shed_expired(self, batch: list[Prediction], now: float) -> list[Prediction]:
+        """Fail already-expired requests; return the still-live remainder."""
+        live: list[Prediction] = []
+        expired: list[Prediction] = []
+        for request in batch:
+            if request.deadline_at is None or request.deadline_at >= now:
+                live.append(request)
+            else:
+                expired.append(request)
+        if not expired:
+            return batch
+        with self._lock:
+            self._failed += len(expired)
+            self._deadline_expired += len(expired)
+        for request in expired:
+            budget = (request.deadline_at - request.submitted_at) * 1e3
+            request._fail(
+                DeadlineExceededError(
+                    f"deadline of {budget:.1f}ms expired while queued "
+                    f"(waited {(now - request.submitted_at) * 1e3:.1f}ms)",
+                    deadline_ms=budget,
+                    shed_at="execution",
+                )
+            )
+        return live
+
+    def _breaker_for(self, name: str) -> Optional[CircuitBreaker]:
+        """The model's breaker, lazily created (None when disabled)."""
+        breaker = self._breakers.get(name)
+        if breaker is None and self.resilience.breaker_threshold > 0:
+            with self._lock:
+                breaker = self._breakers.get(name)
+                if breaker is None:
+                    breaker = self._breakers[name] = self.resilience.make_breaker()
+        return breaker
+
+    def _execute_model_group(self, name: str, requests: list[Prediction]) -> None:
+        """One routed model's share of a coalesced batch, end to end."""
+        policy = self.resilience
+        try:
+            # Resolved per batch, not per request: this is the hot-swap
+            # point — a re-registered name takes effect on the next
+            # executed batch.
+            session = self.registry.session(name)
+        except KeyError:
+            self._fail_requests(requests, UnknownModelError(name, self.registry.names()))
+            return
+        breaker = self._breaker_for(name)
+        if breaker is not None and not breaker.allow():
+            # Open breaker: never touch the primary path.  Serve
+            # degraded if a chain is configured, else fast typed
+            # rejection.  Fallback outcomes do not feed the breaker —
+            # only primary attempts are evidence about the primary.
+            if policy.fallback is not None:
+                self._run_fallback(
+                    session, name, requests, CircuitOpenError(name, breaker.retry_after_ms())
                 )
             else:
-                try:
-                    # float() per value also validates the return shape of
-                    # duck-typed sessions: scalars or ragged rows raise in
-                    # here and fail the group, never the worker.
-                    raw = session.predict_batch([r.plan for r in requests])
-                    values = [float(v) for v in raw]
-                    if len(values) != len(requests):
-                        raise ServiceError(
-                            f"model {name!r} session returned {len(values)} "
-                            f"predictions for {len(requests)} plans"
-                        )
-                    failure = None
-                except BaseException as error:  # noqa: BLE001 — forwarded to callers
-                    # Forwarded verbatim: a KeyError out of featurization
-                    # is an application error, not a routing error.
-                    failure = error
-            if failure is not None:
                 with self._lock:
-                    self._failed += len(requests)
-                for request in requests:
-                    request._fail(failure)
-                continue
-            now = time.monotonic()
-            with self._lock:
-                self._completed += len(requests)
-                self._latencies_ms.extend(
-                    (now - request.submitted_at) * 1e3 for request in requests
+                    self._breaker_rejected += len(requests)
+                self._fail_requests(
+                    requests, CircuitOpenError(name, breaker.retry_after_ms())
                 )
-            for request, value in zip(requests, values):
-                request._complete(value, len(requests), now)
+            return
+        completed, poisoned, batch_error = self._run_primary(session, name, requests)
+        if batch_error is not None:
+            # Terminal whole-batch failure (nothing completed): breaker
+            # evidence, then degrade or forward the underlying error.
+            if breaker is not None:
+                breaker.record_failure()
+            if policy.fallback is not None:
+                self._run_fallback(session, name, requests, batch_error)
+            else:
+                self._fail_requests(requests, batch_error)
+            return
+        if breaker is not None:
+            if completed:
+                breaker.record_success()
+            elif poisoned:
+                # Nothing completed (a singleton group whose one request
+                # was poison): uniform with the multi-request case, a
+                # batch that completed zero requests is breaker evidence.
+                breaker.record_failure()
+        if poisoned:
+            with self._lock:
+                self._poison_isolated += len(poisoned)
+            self._fail_each(poisoned)
+        self._complete_requests(completed)
+
+    def _run_primary(
+        self, session, name: str, requests: list[Prediction]
+    ) -> tuple[
+        list[tuple[Prediction, float]],
+        list[tuple[Prediction, BaseException]],
+        Optional[BaseException],
+    ]:
+        """Primary fused path with poison isolation.
+
+        Returns ``(completed, poisoned, batch_error)``: per-request
+        results and isolated per-request failures on (partial) success,
+        or ``batch_error`` when the whole group failed terminally
+        (nothing completed — the breaker's definition of a batch
+        failure).
+        """
+        try:
+            completed, poisoned, fragmented = self._isolate(session, name, requests)
+        except BaseException as error:  # noqa: BLE001 — forwarded to callers
+            return [], [], error
+        if not completed and poisoned:
+            # Every single request failed: indistinguishable from a dead
+            # model, so surface it as a whole-batch failure (first
+            # underlying error) for the breaker/fallback — unless the
+            # group was a true singleton, where "the one request failed"
+            # is precisely poison isolation working.
+            if len(requests) > 1:
+                return [], [], poisoned[0][1]
+        if fragmented and completed:
+            completed = self._recompute_survivors(session, name, completed)
+        return completed, poisoned, None
+
+    def _recompute_survivors(
+        self, session, name: str, completed: list[tuple[Prediction, float]]
+    ) -> list[tuple[Prediction, float]]:
+        """Re-run all bisection survivors as ONE batch for stable bits.
+
+        Sub-batch probe values are *correct* but not composition-stable:
+        BLAS may pick different reduction kernels for different matrix
+        heights, so a value computed in a bisection half can differ in
+        the last bits from the same plan in a full batch.  Recomputing
+        the complete survivor set in one ``predict_batch`` makes every
+        delivered value bit-identical to a run that coalesced exactly
+        these requests — and for a purely transient fault (no request
+        poisoned) bit-identical to the fault-free run.  If the recompute
+        itself fails (a second fault), the probe values stand: still
+        correct, merely not bit-stable.
+        """
+        survivors = [request for request, _ in completed]
+        try:
+            values = self._predict_group(session, name, survivors)
+        except BaseException:  # noqa: BLE001 — probe values remain valid
+            return completed
+        return list(zip(survivors, values))
+
+    def _isolate(
+        self, session, name: str, requests: list[Prediction]
+    ) -> tuple[
+        list[tuple[Prediction, float]],
+        list[tuple[Prediction, BaseException]],
+        bool,
+    ]:
+        """Bisection poison isolation around ``predict_batch``.
+
+        A failing batch is split in half and each half retried, down to
+        singletons: only the offending request(s) fail, with the
+        underlying error, and every other request completes.
+        :class:`NonFinitePrediction` short-circuits the bisection — the
+        session names the poisoned rows, so the healthy remainder re-runs
+        as one batch.  Transient faults (raise once, succeed on retry)
+        recover with zero requests failed.
+
+        The third return element flags *fragmented* results — values
+        assembled from more than one ``predict_batch`` composition —
+        which :meth:`_recompute_survivors` then replays as a single
+        batch so delivered bits never depend on how the bisection split.
+        """
+        try:
+            values = self._predict_group(session, name, requests)
+            return list(zip(requests, values)), [], False
+        except NonFinitePrediction as error:
+            if error.indices is None:
+                bad_set = set(range(len(requests)))
+            else:
+                bad_set = {i for i in error.indices if 0 <= i < len(requests)}
+                if not bad_set:
+                    bad_set = set(range(len(requests)))
+            poisoned = [
+                (
+                    requests[i],
+                    NonFinitePrediction(
+                        error.model, [requests[i].plan.structure_signature()], [i]
+                    ),
+                )
+                for i in sorted(bad_set)
+            ]
+            healthy = [r for i, r in enumerate(requests) if i not in bad_set]
+            if not healthy:
+                return [], poisoned, False
+            # If the remainder completed in one call, its values already
+            # come from exactly the survivor composition — not fragmented.
+            completed, more, fragmented = self._isolate(session, name, healthy)
+            return completed, poisoned + more, fragmented
+        except BaseException as error:  # noqa: BLE001 — isolated below
+            if not self.resilience.poison_isolation or len(requests) == 1:
+                if len(requests) == 1:
+                    return [], [(requests[0], error)], False
+                raise
+            mid = len(requests) // 2
+            left_done, left_bad, _ = self._isolate(session, name, requests[:mid])
+            right_done, right_bad, _ = self._isolate(session, name, requests[mid:])
+            return left_done + right_done, left_bad + right_bad, True
+
+    def _predict_group(
+        self, session, name: str, requests: list[Prediction]
+    ) -> list[float]:
+        """One ``predict_batch`` call, with shape and finiteness validation.
+
+        float() per value also validates the return shape of duck-typed
+        sessions: scalars or ragged rows raise in here and fail the
+        group, never the worker.  Non-finite values from duck-typed
+        sessions (a real :class:`InferenceSession` raises on its own)
+        are promoted to an indexed :class:`NonFinitePrediction` so the
+        isolation layer treats them as poison rows, not a batch failure.
+        """
+        raw = session.predict_batch([r.plan for r in requests])
+        values = [float(v) for v in raw]
+        if len(values) != len(requests):
+            raise ServiceError(
+                f"model {name!r} session returned {len(values)} "
+                f"predictions for {len(requests)} plans"
+            )
+        bad = [i for i, v in enumerate(values) if not np.isfinite(v)]
+        if bad:
+            raise NonFinitePrediction(
+                repr(name),
+                [requests[i].plan.structure_signature() for i in bad],
+                bad,
+            )
+        return values
+
+    def _run_fallback(
+        self,
+        session,
+        name: str,
+        requests: list[Prediction],
+        primary_error: BaseException,
+    ) -> None:
+        """Serve a group through the fallback chain (degraded completion).
+
+        If the whole chain is exhausted, requests fail with the chain's
+        final error, chained onto the primary failure.
+        """
+        try:
+            values, _tier = self.resilience.fallback.predict(
+                session, [r.plan for r in requests]
+            )
+        except BaseException as chain_error:  # noqa: BLE001 — forwarded to callers
+            chain_error.__cause__ = primary_error
+            self._fail_requests(requests, chain_error)
+            return
+        with self._lock:
+            self._fallback_completed += len(requests)
+        self._complete_requests(list(zip(requests, values)))
+
+    # -- settlement helpers (stats before events, always) ---------------
+    def _complete_requests(self, completed: list[tuple[Prediction, float]]) -> None:
+        if not completed:
+            return
+        now = time.monotonic()
+        with self._lock:
+            self._completed += len(completed)
+            self._latencies_ms.extend(
+                (now - request.submitted_at) * 1e3 for request, _ in completed
+            )
+        group_size = len(completed)
+        for request, value in completed:
+            request._complete(value, group_size, now)
+
+    def _fail_requests(self, requests: list[Prediction], error: BaseException) -> None:
+        with self._lock:
+            self._failed += len(requests)
+        for request in requests:
+            request._fail(error)
+
+    def _fail_each(self, failures: list[tuple[Prediction, BaseException]]) -> None:
+        with self._lock:
+            self._failed += len(failures)
+        for request, error in failures:
+            request._fail(error)

@@ -41,6 +41,8 @@ from repro.core.model import MIN_PREDICTION_MS, QPPNet
 from repro.featurize.compiled import FeatureVectorCache
 from repro.plans.node import PlanNode
 
+from .resilience import NonFinitePrediction
+
 #: Default bound on the per-session feature-vector cache.  Sized for
 #: templated production workloads (a few thousand distinct parameter
 #: bindings); pass ``feature_cache_size=None`` to disable caching
@@ -130,7 +132,10 @@ class InferenceSession:
         with nn.inference_mode():
             outputs = schedule.run_inference(features)
         scale = self.featurizer.latency_scale_ms
-        return max(MIN_PREDICTION_MS, float(outputs[0][0, 0]) * scale)
+        value = float(outputs[0][0, 0]) * scale
+        if not np.isfinite(value):
+            raise NonFinitePrediction(repr(self.model), [graph.signature], [0])
+        return max(MIN_PREDICTION_MS, value)
 
     def predict_batch(self, plans: Sequence[PlanNode]) -> np.ndarray:
         """Predicted query latency (ms) per plan, in request order.
@@ -147,6 +152,16 @@ class InferenceSession:
         for bucket, outputs in self._run_buckets(plans):
             roots = np.maximum(MIN_PREDICTION_MS, outputs[0][:, 0] * scale)
             out[bucket.indices] = roots
+        if not np.isfinite(out).all():
+            # Typed, never silent: name the model and the offending
+            # plans so the service can treat exactly these requests as
+            # poison (batch-relative indices) and complete the rest.
+            bad = np.flatnonzero(~np.isfinite(out))
+            raise NonFinitePrediction(
+                repr(self.model),
+                [plans[i].structure_signature() for i in bad],
+                [int(i) for i in bad],
+            )
         self.requests_served += len(plans)
         return out
 

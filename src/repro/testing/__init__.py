@@ -1,0 +1,30 @@
+"""Deterministic fault injection for resilience tests and chaos drills.
+
+Everything the robustness test suites throw at the serving and training
+layers lives here, so faults are injected the same way everywhere:
+
+* :class:`~repro.testing.faults.FaultySession` — wraps an
+  :class:`~repro.serving.session.InferenceSession` and misbehaves on
+  demand (raise on the Nth call, raise whenever a chosen poison plan is
+  in the batch, overwrite chosen rows with NaN, add latency);
+* :func:`~repro.testing.faults.kill_at_epoch` — a ``Trainer.fit``
+  ``epoch_hook`` that simulates the process dying mid-fit;
+* :func:`~repro.testing.faults.raise_on_calls` — make any callable fail
+  on a chosen set of invocations.
+"""
+
+from .faults import (
+    FaultySession,
+    InjectedFault,
+    SimulatedCrash,
+    kill_at_epoch,
+    raise_on_calls,
+)
+
+__all__ = [
+    "FaultySession",
+    "InjectedFault",
+    "SimulatedCrash",
+    "kill_at_epoch",
+    "raise_on_calls",
+]

@@ -1,0 +1,148 @@
+"""Deterministic fault injectors.
+
+Every injector is fully deterministic — faults fire on exact call
+counts, exact plan identities or exact epochs, never randomly — so a
+chaos test that fails replays identically under the same seed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.plans.node import PlanNode
+
+
+class InjectedFault(RuntimeError):
+    """The error a fault injector raises in place of real work."""
+
+
+class SimulatedCrash(BaseException):
+    """A simulated process death (kill -9 stand-in).
+
+    Deliberately a ``BaseException``: ordinary ``except Exception``
+    recovery code must not be able to swallow it, mirroring how a real
+    kill gives the process no chance to handle anything.
+    """
+
+
+def kill_at_epoch(epoch: int) -> Callable[[int], None]:
+    """``Trainer.fit`` epoch hook that dies after ``epoch`` completes.
+
+    The hook fires after the epoch's checkpoint is written, so the
+    simulated crash lands exactly where a real mid-fit kill is
+    recoverable from: the last published checkpoint.
+    """
+    if epoch < 1:
+        raise ValueError("epoch must be >= 1")
+
+    def hook(current: int) -> None:
+        if current == epoch:
+            raise SimulatedCrash(f"injected kill after epoch {current}")
+
+    return hook
+
+
+def raise_on_calls(
+    fn: Callable,
+    calls: Iterable[int] = (),
+    every: int = 0,
+    error: Optional[Callable[[], BaseException]] = None,
+) -> Callable:
+    """Wrap ``fn`` to raise on chosen invocations (1-based call count).
+
+    ``calls`` names exact call numbers; ``every`` additionally fails
+    every Nth call.  ``error`` builds the exception (default
+    :class:`InjectedFault`).
+    """
+    fail_calls = frozenset(calls)
+    make_error = error or (lambda: InjectedFault("injected fault"))
+    count = 0
+
+    def wrapped(*args, **kwargs):
+        nonlocal count
+        count += 1
+        if count in fail_calls or (every and count % every == 0):
+            raise make_error()
+        return fn(*args, **kwargs)
+
+    return wrapped
+
+
+class FaultySession:
+    """An inference session wrapper that misbehaves deterministically.
+
+    Wraps anything with the :class:`~repro.serving.session
+    .InferenceSession` ``predict`` / ``predict_batch`` interface and
+    injects, in precedence order per ``predict_batch`` call:
+
+    1. ``extra_latency_ms`` — sleep before doing anything (deadline and
+       queue-pressure tests);
+    2. ``fail_calls`` / ``fail_every`` — raise :class:`InjectedFault`
+       (or ``error()``) on those 1-based call counts, *before* touching
+       the wrapped session (transient whole-batch faults);
+    3. ``poison_plans`` — raise whenever any of these plan objects
+       (matched by identity) is in the batch: the classic poison request
+       that keeps killing every batch it rides in until isolated;
+    4. ``nan_plans`` — run the real batch, then overwrite these plans'
+       rows with NaN: a silently-wrong model output, exercising the
+       caller's duck-typed non-finite promotion.
+
+    Everything else (``model``, ``stats``, cache knobs) delegates to the
+    wrapped session, so a :class:`FaultySession` drops into a
+    :class:`~repro.serving.registry.ModelRegistry` anywhere a real
+    session goes.  ``calls`` and ``faults_injected`` expose what
+    happened — note bisection makes sub-batch calls, which also count.
+    """
+
+    def __init__(
+        self,
+        inner,
+        *,
+        fail_calls: Iterable[int] = (),
+        fail_every: int = 0,
+        poison_plans: Iterable[PlanNode] = (),
+        nan_plans: Iterable[PlanNode] = (),
+        extra_latency_ms: float = 0.0,
+        error: Optional[Callable[[], BaseException]] = None,
+    ) -> None:
+        self.inner = inner
+        self.fail_calls = frozenset(fail_calls)
+        self.fail_every = int(fail_every)
+        self.poison_ids = frozenset(id(plan) for plan in poison_plans)
+        self.nan_ids = frozenset(id(plan) for plan in nan_plans)
+        self.extra_latency_ms = float(extra_latency_ms)
+        self.error = error or (lambda: InjectedFault("injected fault"))
+        self.calls = 0
+        self.faults_injected = 0
+
+    def _fault(self) -> BaseException:
+        self.faults_injected += 1
+        return self.error()
+
+    def predict_batch(self, plans: Sequence[PlanNode]) -> list[float]:
+        self.calls += 1
+        if self.extra_latency_ms:
+            time.sleep(self.extra_latency_ms / 1e3)
+        if self.calls in self.fail_calls or (
+            self.fail_every and self.calls % self.fail_every == 0
+        ):
+            raise self._fault()
+        if self.poison_ids and any(id(plan) in self.poison_ids for plan in plans):
+            raise self._fault()
+        values = list(self.inner.predict_batch(plans))
+        if self.nan_ids:
+            values = [
+                float("nan") if id(plan) in self.nan_ids else value
+                for plan, value in zip(plans, values)
+            ]
+        return values
+
+    def predict(self, plan: PlanNode) -> float:
+        return self.predict_batch([plan])[0]
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:
+        return f"FaultySession({self.inner!r}, calls={self.calls}, faults={self.faults_injected})"

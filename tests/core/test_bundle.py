@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import QPPNet, QPPNetConfig, Trainer
-from repro.core.bundle import load_bundle, save_bundle
+from repro.core.bundle import BundleCorruptError, load_bundle, save_bundle
 from repro.featurize import Featurizer
 from repro.featurize.serialize import featurizer_from_dict, featurizer_to_dict
 from repro.workload import Workbench
@@ -68,3 +68,50 @@ class TestBundle:
         (tmp_path / "bundle" / "config.json").unlink()
         with pytest.raises(FileNotFoundError):
             load_bundle(directory)
+
+
+class TestBundleCorruption:
+    """ISSUE 7 satellite: corrupt bundle files fail typed, naming the file."""
+
+    def _fresh_bundle(self, trained, tmp_path, name):
+        return save_bundle(trained, tmp_path / name)
+
+    def test_truncated_weights(self, trained, tmp_path):
+        directory = self._fresh_bundle(trained, tmp_path, "torn-weights")
+        weights = tmp_path / "torn-weights" / "weights.npz"
+        weights.write_bytes(weights.read_bytes()[:64])
+        with pytest.raises(BundleCorruptError) as exc_info:
+            load_bundle(directory)
+        assert exc_info.value.path == str(weights)
+        assert exc_info.value.__cause__ is not None
+
+    def test_garbage_featurizer_json(self, trained, tmp_path):
+        directory = self._fresh_bundle(trained, tmp_path, "bad-feat")
+        target = tmp_path / "bad-feat" / "featurizer.json"
+        target.write_text("{not json")
+        with pytest.raises(BundleCorruptError) as exc_info:
+            load_bundle(directory)
+        assert "featurizer.json" in str(exc_info.value)
+
+    def test_wrong_schema_config(self, trained, tmp_path):
+        directory = self._fresh_bundle(trained, tmp_path, "bad-config")
+        target = tmp_path / "bad-config" / "config.json"
+        target.write_text('{"no_such_field": 1}')
+        with pytest.raises(BundleCorruptError) as exc_info:
+            load_bundle(directory)
+        assert "config.json" in str(exc_info.value)
+
+    def test_mismatched_weights_architecture(self, trained, tmp_path):
+        directory = self._fresh_bundle(trained, tmp_path, "wrong-arch")
+        config = tmp_path / "wrong-arch" / "config.json"
+        import json as _json
+
+        data = _json.loads(config.read_text())
+        data["neurons"] = data["neurons"] * 2  # weights no longer fit
+        config.write_text(_json.dumps(data))
+        with pytest.raises(BundleCorruptError) as exc_info:
+            load_bundle(directory)
+        assert "weights.npz" in str(exc_info.value)
+
+    def test_typed_error_is_runtime_error(self):
+        assert issubclass(BundleCorruptError, RuntimeError)

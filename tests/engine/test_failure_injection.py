@@ -7,6 +7,8 @@ import pytest
 from repro.engine import HardwareProfile, Simulator
 from repro.workload import Workbench
 
+pytestmark = pytest.mark.chaos
+
 
 def profile_workbench(**profile_kwargs):
     profile = HardwareProfile(seed=0, **profile_kwargs)

@@ -1,0 +1,118 @@
+"""The fault injectors themselves: deterministic, typed, delegating."""
+
+import time
+
+import pytest
+
+from repro.testing import (
+    FaultySession,
+    InjectedFault,
+    SimulatedCrash,
+    kill_at_epoch,
+    raise_on_calls,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+class StubSession:
+    """Minimal predict_batch stand-in: value = id(plan) % 97 + 1."""
+
+    def __init__(self):
+        self.model = "stub-model"
+        self.batches = []
+
+    def predict_batch(self, plans):
+        self.batches.append(list(plans))
+        return [float(id(p) % 97 + 1) for p in plans]
+
+
+class TestRaiseOnCalls:
+    def test_exact_calls(self):
+        fn = raise_on_calls(lambda: "ok", calls={2, 4})
+        assert fn() == "ok"
+        with pytest.raises(InjectedFault):
+            fn()
+        assert fn() == "ok"
+        with pytest.raises(InjectedFault):
+            fn()
+        assert fn() == "ok"
+
+    def test_every_nth(self):
+        fn = raise_on_calls(lambda: "ok", every=3)
+        outcomes = []
+        for _ in range(6):
+            try:
+                outcomes.append(fn())
+            except InjectedFault:
+                outcomes.append("boom")
+        assert outcomes == ["ok", "ok", "boom", "ok", "ok", "boom"]
+
+    def test_custom_error(self):
+        fn = raise_on_calls(lambda: "ok", calls={1}, error=lambda: KeyError("x"))
+        with pytest.raises(KeyError):
+            fn()
+
+
+class TestKillAtEpoch:
+    def test_fires_only_at_target(self):
+        hook = kill_at_epoch(3)
+        hook(1)
+        hook(2)
+        with pytest.raises(SimulatedCrash):
+            hook(3)
+        hook(4)  # past the kill: inert
+
+    def test_is_base_exception(self):
+        with pytest.raises(BaseException):
+            try:
+                raise SimulatedCrash("kill")
+            except Exception:  # noqa: BLE001 — must NOT catch it
+                pytest.fail("SimulatedCrash must escape `except Exception`")
+
+    def test_rejects_bad_epoch(self):
+        with pytest.raises(ValueError):
+            kill_at_epoch(0)
+
+
+class TestFaultySession:
+    def test_fail_calls_then_clean(self):
+        inner = StubSession()
+        session = FaultySession(inner, fail_calls={1})
+        plans = [object(), object()]
+        with pytest.raises(InjectedFault):
+            session.predict_batch(plans)
+        values = session.predict_batch(plans)
+        assert values == inner.predict_batch(plans)
+        assert session.calls == 2 and session.faults_injected == 1
+
+    def test_poison_identity_match(self):
+        inner = StubSession()
+        poison = object()
+        session = FaultySession(inner, poison_plans=[poison])
+        clean = [object(), object()]
+        assert len(session.predict_batch(clean)) == 2
+        with pytest.raises(InjectedFault):
+            session.predict_batch([clean[0], poison])
+        # The poisoned batch never reached the wrapped session.
+        assert all(poison not in batch for batch in inner.batches)
+
+    def test_nan_rows_overwrite(self):
+        inner = StubSession()
+        target = object()
+        session = FaultySession(inner, nan_plans=[target])
+        values = session.predict_batch([object(), target, object()])
+        assert values[1] != values[1]  # NaN
+        assert values[0] == values[0] and values[2] == values[2]
+
+    def test_extra_latency(self):
+        session = FaultySession(StubSession(), extra_latency_ms=30.0)
+        started = time.perf_counter()
+        session.predict_batch([object()])
+        assert time.perf_counter() - started >= 0.025
+
+    def test_delegates_attributes(self):
+        inner = StubSession()
+        session = FaultySession(inner)
+        assert session.model == "stub-model"
+        assert session.predict(object()) > 0
