@@ -29,7 +29,7 @@ from .compile import CompiledSchedule, ScheduleCache, ScheduleStep
 from .config import COMPUTE_DTYPES, TRAINING_ENGINES, TRAINING_MODES, QPPNetConfig
 from .levels import LevelPlan, LevelPlanCache, LevelRun, LevelStep
 from .model import MIN_PREDICTION_MS, QPPNet
-from .trainer import Trainer, TrainingHistory, train_qppnet
+from .trainer import Trainer, TrainingHistory, fine_tune, train_qppnet
 from .unit import NeuralUnit
 
 __all__ = [
@@ -43,6 +43,7 @@ __all__ = [
     "Trainer",
     "TrainingHistory",
     "train_qppnet",
+    "fine_tune",
     "save_bundle",
     "load_bundle",
     "BundleCorruptError",

@@ -67,7 +67,7 @@ loop skips them — identical whenever every unit appears in every batch.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -580,3 +580,55 @@ def train_qppnet(
     trainer = Trainer(model, config)
     history = trainer.fit(samples, **fit_kwargs)
     return model, history
+
+
+def fine_tune(
+    model: QPPNet,
+    samples: Sequence[PlanSample],
+    *,
+    epochs: int,
+    lr: Optional[float] = None,
+    batch_size: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 1,
+    resume: bool = True,
+    epoch_hook: Optional[Callable[[int], None]] = None,
+) -> tuple[QPPNet, TrainingHistory]:
+    """Continue training a *copy* of ``model`` on new samples.
+
+    The incremental-refresh primitive of the live model lifecycle: the
+    candidate starts from a bitwise copy of the live parameters (same
+    featurizer — the schema is frozen at deployment) and trains under
+    its own fresh optimizer, so the serving model is never touched and
+    a rejected candidate costs nothing.
+
+    With ``checkpoint_dir`` the fit is durable through the standard
+    :mod:`repro.core.checkpoint` path: a crash mid-fine-tune (including
+    an injected :class:`~repro.testing.faults.SimulatedCrash`) resumes
+    bitwise by calling ``fine_tune`` again with the same directory and
+    the same samples — the checkpoint restores parameters, optimizer
+    and rng state, so the warm-start copy below is immediately
+    overwritten by the restored state.  Resumability therefore requires
+    the caller to re-present the *same sample sequence*; the lifecycle
+    manager guarantees this by snapshotting its training set from the
+    outcome journal by sequence number.
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+    config = replace(
+        model.config,
+        epochs=epochs,
+        lr=model.config.lr if lr is None else lr,
+        batch_size=model.config.batch_size if batch_size is None else batch_size,
+    )
+    candidate = QPPNet(model.featurizer, config)
+    candidate.load_state_dict(model.state_dict())
+    trainer = Trainer(candidate, config)
+    history = trainer.fit(
+        samples,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+        epoch_hook=epoch_hook,
+    )
+    return candidate, history

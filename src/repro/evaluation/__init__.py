@@ -1,5 +1,7 @@
-"""Evaluation: metrics (§6) and the shared train/score harness."""
+"""Evaluation: metrics (§6), the shared train/score harness, and online
+drift detection for live serving (``evaluation.drift``)."""
 
+from .drift import DriftMonitor, DriftReport, DriftThresholds, PageHinkley
 from .harness import (
     MODEL_ORDER,
     EvaluationResult,
@@ -41,4 +43,8 @@ __all__ = [
     "MODEL_ORDER",
     "OperatorAccuracy",
     "operator_level_accuracy",
+    "DriftMonitor",
+    "DriftReport",
+    "DriftThresholds",
+    "PageHinkley",
 ]

@@ -1,0 +1,341 @@
+"""Online drift detection for live QPP serving.
+
+The LinkedIn QPP evaluation (PAPERS.md) found that in production the
+hard problems are drift and staleness, not offline accuracy: the data
+distribution moves (tables grow, plans change shape, hardware is
+shared) and a model trained once quietly rots.  This module is the
+*detect* stage of the serve→observe→detect→retrain→promote loop: it
+consumes the (predicted, observed) outcome stream journaled by
+``PredictionService.record_outcome`` and decides, cheaply and online,
+whether the live model still resembles its offline evaluation.
+
+Three complementary detectors feed one :class:`DriftReport`:
+
+* **Relative-error EWMA vs a frozen baseline** — the rolling mean of
+  ``|observed − predicted| / observed`` (the paper's §6 metric,
+  exponentially weighted) compared against the model's *offline*
+  relative error, frozen at deployment.  Trips when the live error is
+  ``error_ratio`` times the baseline — "the model is worse than the
+  Fig. 7 number we promoted it on".
+* **Page–Hinkley mean-shift test** — a sequential changepoint detector
+  on the same error stream.  Where the EWMA ratio needs a baseline to
+  compare against, Page–Hinkley is self-referential: it trips on a
+  sustained *increase* relative to the stream's own running mean, so it
+  catches regressions even when the frozen baseline was pessimistic.
+* **Unseen-structure rate** — the fraction of recent requests whose
+  plan structure signature was never seen in training.  A workload that
+  shifts to new plan shapes degrades the per-operator units before the
+  error metrics can even measure it (novel structures may be rare but
+  catastrophic); this is the leading indicator.
+
+All detectors are O(1) per observation and :class:`DriftMonitor` is
+thread-safe, so it can sit directly on the serving hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .metrics import relative_error
+
+__all__ = [
+    "DriftMonitor",
+    "DriftReport",
+    "DriftThresholds",
+    "PageHinkley",
+]
+
+
+@dataclass(frozen=True)
+class DriftThresholds:
+    """Trigger configuration for :class:`DriftMonitor`.
+
+    Defaults are deliberately conservative: a retrain cycle costs real
+    compute and a promotion churns the serving path, so every detector
+    requires ``min_observations`` of evidence before it may trip.
+    """
+
+    #: Trip the relative-error detector when the live EWMA exceeds
+    #: ``error_ratio`` × the frozen offline baseline.
+    error_ratio: float = 1.5
+    #: EWMA smoothing factor (weight of each new error sample).
+    ewma_alpha: float = 0.05
+    #: Minimum outcomes before any detector may trip.
+    min_observations: int = 32
+    #: Page–Hinkley drift-tolerance: per-sample slack subtracted from
+    #: each deviation (magnitudes here are relative errors, ~0–1).
+    ph_delta: float = 0.05
+    #: Page–Hinkley alarm threshold on the cumulative statistic.  Sized
+    #: for relative-error streams, whose per-sample noise is large
+    #: (σ ≈ 0.3–0.5 even in distribution): a stationary stream's
+    #: positive excursions must stay below it, while a sustained mean
+    #: shift accumulates ~(shift − δ) per sample and crosses it within
+    #: tens of observations.
+    ph_threshold: float = 5.0
+    #: Trip the structure detector when the fraction of unseen
+    #: signatures in the rolling window exceeds this.
+    unseen_rate: float = 0.25
+    #: Rolling-window size for the unseen-structure rate.
+    unseen_window: int = 256
+
+    def __post_init__(self) -> None:
+        if self.error_ratio <= 1.0:
+            raise ValueError("error_ratio must be > 1 (ratio vs baseline)")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        if self.ph_delta < 0 or self.ph_threshold <= 0:
+            raise ValueError("ph_delta must be >= 0 and ph_threshold > 0")
+        if not 0.0 < self.unseen_rate:
+            raise ValueError("unseen_rate must be positive")
+        if self.unseen_window < 1:
+            raise ValueError("unseen_window must be >= 1")
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Point-in-time verdict of a :class:`DriftMonitor`.
+
+    ``triggered`` is the OR of the individual detectors; ``reasons``
+    names the ones that fired (subset of ``{"relative_error",
+    "mean_shift", "unseen_structures"}``), so the lifecycle manager can
+    log *why* a retrain started.
+    """
+
+    triggered: bool
+    reasons: tuple[str, ...]
+    #: Outcomes observed since construction / the last reset.
+    observations: int
+    #: The frozen offline relative error the EWMA is judged against.
+    baseline_rel_error: float
+    #: Current exponentially-weighted live relative error.
+    ewma_rel_error: float
+    #: ``ewma_rel_error / baseline_rel_error`` (the tripwire ratio).
+    error_ratio: float
+    #: Current Page–Hinkley statistic and its alarm threshold.
+    ph_statistic: float
+    ph_threshold: float
+    #: Fraction of the rolling window with unseen structure signatures.
+    unseen_rate: float
+    #: Distinct unseen signatures observed since the last reset.
+    unseen_signatures: int
+
+
+class PageHinkley:
+    """One-sided Page–Hinkley test for an *increase* in a stream's mean.
+
+    Maintains the running mean and the cumulative deviation
+    ``U_t = Σ (x_i − mean_i − δ)``; the statistic ``PH = U_t − min U``
+    measures how far the stream has climbed since its best point.  An
+    alarm (``PH > λ``) means the recent mean sits persistently above
+    the historical mean by more than the tolerance δ — a sustained
+    shift, not a noise spike.  O(1) per update; not thread-safe on its
+    own (:class:`DriftMonitor` locks around it).
+    """
+
+    def __init__(self, delta: float = 0.05, threshold: float = 5.0) -> None:
+        if delta < 0:
+            raise ValueError("delta must be >= 0")
+        if threshold <= 0:
+            raise ValueError("threshold must be > 0")
+        self.delta = delta
+        self.threshold = threshold
+        self.reset()
+
+    def reset(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._cum = 0.0
+        self._min_cum = 0.0
+
+    def update(self, x: float) -> bool:
+        """Consume one sample; returns the current alarm state."""
+        self._n += 1
+        self._mean += (x - self._mean) / self._n
+        self._cum += x - self._mean - self.delta
+        self._min_cum = min(self._min_cum, self._cum)
+        return self.triggered
+
+    @property
+    def statistic(self) -> float:
+        return self._cum - self._min_cum
+
+    @property
+    def triggered(self) -> bool:
+        return self.statistic > self.threshold
+
+
+class DriftMonitor:
+    """Thread-safe online drift detector over the outcome stream.
+
+    Feed every recorded outcome through :meth:`observe` (or
+    :meth:`observe_record` straight from the service's
+    ``OutcomeLog``); poll :meth:`report` for the current verdict.
+    :meth:`reset` re-arms the monitor after a promotion or demotion —
+    the error detectors' memory describes the *old* model and must not
+    indict (or excuse) the new one.
+
+    The EWMA is seeded at the baseline, so an in-distribution stream
+    hovers there from the first observation instead of swinging through
+    a cold-start transient.
+    """
+
+    RELATIVE_ERROR = "relative_error"
+    MEAN_SHIFT = "mean_shift"
+    UNSEEN_STRUCTURES = "unseen_structures"
+
+    #: Cap on the distinct-unseen-signature set (memory bound; the rate
+    #: window is what triggers, the set is reporting detail).
+    MAX_UNSEEN_TRACKED = 4096
+
+    def __init__(
+        self,
+        baseline_rel_error: float,
+        *,
+        thresholds: Optional[DriftThresholds] = None,
+        known_signatures: Iterable[str] = (),
+    ) -> None:
+        if not np.isfinite(baseline_rel_error) or baseline_rel_error <= 0:
+            raise ValueError(
+                f"baseline_rel_error must be a finite positive relative error, "
+                f"got {baseline_rel_error!r}"
+            )
+        self.thresholds = thresholds if thresholds is not None else DriftThresholds()
+        self._lock = threading.Lock()
+        self._known = set(known_signatures)
+        self._baseline = float(baseline_rel_error)
+        self._reset_locked()
+
+    @classmethod
+    def from_offline_baseline(
+        cls,
+        actual: Sequence[float],
+        predicted: Sequence[float],
+        *,
+        thresholds: Optional[DriftThresholds] = None,
+        known_signatures: Iterable[str] = (),
+    ) -> "DriftMonitor":
+        """Freeze the offline evaluation as the baseline (§6 metric)."""
+        return cls(
+            relative_error(actual, predicted),
+            thresholds=thresholds,
+            known_signatures=known_signatures,
+        )
+
+    # ------------------------------------------------------------------
+    def _reset_locked(self) -> None:
+        t = self.thresholds
+        self._observations = 0
+        self._ewma = self._baseline
+        self._ph = PageHinkley(delta=t.ph_delta, threshold=t.ph_threshold)
+        self._unseen_window: deque[bool] = deque(maxlen=t.unseen_window)
+        self._unseen_signatures: set[str] = set()
+
+    def observe(
+        self,
+        predicted_ms: float,
+        observed_ms: float,
+        signature: Optional[str] = None,
+    ) -> None:
+        """Consume one (predicted, observed) outcome.
+
+        ``signature`` (the plan's structure signature) is optional; when
+        omitted the unseen-structure detector simply skips the sample.
+        """
+        predicted = float(predicted_ms)
+        observed = float(observed_ms)
+        if not np.isfinite(predicted) or not np.isfinite(observed) or observed <= 0:
+            raise ValueError(
+                f"outcomes must be finite with observed > 0, got "
+                f"predicted={predicted_ms!r} observed={observed_ms!r}"
+            )
+        rel = abs(observed - predicted) / observed
+        alpha = self.thresholds.ewma_alpha
+        with self._lock:
+            self._observations += 1
+            self._ewma += alpha * (rel - self._ewma)
+            self._ph.update(rel)
+            if signature is not None:
+                unseen = signature not in self._known
+                self._unseen_window.append(unseen)
+                if unseen and len(self._unseen_signatures) < self.MAX_UNSEEN_TRACKED:
+                    self._unseen_signatures.add(signature)
+
+    def observe_record(self, record) -> None:
+        """Consume one ``OutcomeRecord`` (duck-typed: predicted_ms /
+        observed_ms / signature attributes)."""
+        self.observe(record.predicted_ms, record.observed_ms, record.signature)
+
+    def report(self) -> DriftReport:
+        """Current verdict; cheap enough to call per poll tick."""
+        t = self.thresholds
+        with self._lock:
+            n = self._observations
+            ewma = self._ewma
+            ph_stat = self._ph.statistic
+            ph_hit = self._ph.triggered
+            window = len(self._unseen_window)
+            unseen = sum(self._unseen_window)
+            distinct_unseen = len(self._unseen_signatures)
+        ratio = ewma / self._baseline
+        unseen_rate = unseen / window if window else 0.0
+        reasons = []
+        if n >= t.min_observations:
+            if ratio > t.error_ratio:
+                reasons.append(self.RELATIVE_ERROR)
+            if ph_hit:
+                reasons.append(self.MEAN_SHIFT)
+            if window >= min(t.min_observations, t.unseen_window) and (
+                unseen_rate > t.unseen_rate
+            ):
+                reasons.append(self.UNSEEN_STRUCTURES)
+        return DriftReport(
+            triggered=bool(reasons),
+            reasons=tuple(reasons),
+            observations=n,
+            baseline_rel_error=self._baseline,
+            ewma_rel_error=ewma,
+            error_ratio=ratio,
+            ph_statistic=ph_stat,
+            ph_threshold=t.ph_threshold,
+            unseen_rate=unseen_rate,
+            unseen_signatures=distinct_unseen,
+        )
+
+    def reset(
+        self,
+        baseline_rel_error: Optional[float] = None,
+        *,
+        extend_known: Iterable[str] = (),
+    ) -> None:
+        """Re-arm after a model swap (promotion/demotion/rollback).
+
+        Optionally installs a new frozen baseline (the candidate's own
+        offline error) and extends the known-signature set (structures
+        the candidate was fine-tuned on are no longer "unseen").
+        """
+        if baseline_rel_error is not None:
+            if not np.isfinite(baseline_rel_error) or baseline_rel_error <= 0:
+                raise ValueError(
+                    "baseline_rel_error must be a finite positive relative error"
+                )
+        with self._lock:
+            if baseline_rel_error is not None:
+                self._baseline = float(baseline_rel_error)
+            self._known.update(extend_known)
+            self._reset_locked()
+
+    @property
+    def baseline_rel_error(self) -> float:
+        return self._baseline
+
+    @property
+    def known_signatures(self) -> frozenset:
+        with self._lock:
+            return frozenset(self._known)

@@ -116,6 +116,62 @@ than the thread.  All of it is observable: ``deadline_rejected``,
 ``deadline_expired``, ``poison_isolated``, ``fallback_completed``,
 ``breaker_rejected`` and ``breaker_states`` ride along
 :class:`ServiceStats`.
+
+**Settlement and outcome feedback** (the serve→observe half of the
+model lifecycle):
+
+* a :class:`Prediction` settles exactly once — a second ``_complete`` /
+  ``_fail`` raises :class:`PredictionSettledError` instead of silently
+  overwriting the delivered value and corrupting stats;
+* :meth:`Prediction.observe(actual_ms) <Prediction.observe>` journals
+  the query's measured latency into the service's bounded thread-safe
+  :class:`~repro.serving.service.OutcomeLog` (``outcomes_recorded``
+  rides along :class:`ServiceStats`); misuse — observing a pending or
+  failed handle, observing twice, non-finite/non-positive actuals —
+  raises :class:`OutcomeError`.
+
+Model-lifecycle state machine
+-----------------------------
+``serving.lifecycle`` closes the loop on the outcome journal.  One
+model's :class:`~repro.serving.lifecycle.LifecycleManager` walks
+:class:`~repro.serving.resilience.LifecycleState`::
+
+    live -> retraining -> shadow -> promoted -> live
+                |            |         |
+                +-> live     +---------+-> demoted -> live
+
+* **live → retraining**: the :class:`~repro.evaluation.drift
+  .DriftMonitor` fed by :meth:`LifecycleManager.poll` trips (error-EWMA
+  vs the frozen offline baseline, Page–Hinkley mean shift, or
+  unseen-structure rate); a *copy* of the live model fine-tunes on the
+  observed stream through the durable checkpointed ``Trainer.fit``
+  path.  A crash mid-retrain stays in ``retraining`` and the next
+  ``retrain()`` resumes bitwise from the last checkpoint.
+* **retraining → shadow**: one atomic
+  :meth:`ModelRegistry.replace_session` installs a
+  :class:`~repro.serving.lifecycle.ShadowSession` — the old model keeps
+  answering every request, the candidate rides every batch, and
+  disagreement (p50/p99 abs/rel deltas) plus outcome-joined error is
+  journaled.  A candidate that raises never affects live traffic.
+* **shadow → promoted**: the candidate passed its evidence gate
+  (enough observed outcomes, failure-free, error within margin of the
+  primary's); one more atomic ``replace_session`` makes it live with
+  zero dropped or misrouted requests (routing resolves per executed
+  batch — in-flight batches finish on the session they resolved).  The
+  retired session is retained.
+* **shadow / promoted → demoted**: a failed gate
+  (:class:`~repro.serving.resilience.PromotionError`) or a fresh drift
+  trigger inside the post-promotion stabilization window swaps the
+  previous model back in — same atomic primitive, same zero-downtime
+  guarantee.
+* **promoted / demoted → live**: the cycle completes once the new model
+  stabilizes (or the demotion cooldown elapses); the drift monitor is
+  re-armed so the old model's error memory never indicts the new one.
+
+Illegal jumps raise
+:class:`~repro.serving.resilience.InvalidLifecycleTransition`; all
+lifecycle failures are :class:`~repro.serving.resilience
+.LifecycleError`, itself a :class:`ServiceError`.
 """
 
 from .registry import ModelRegistry
@@ -124,8 +180,14 @@ from .resilience import (
     CircuitOpenError,
     DeadlineExceededError,
     FallbackChain,
+    InvalidLifecycleTransition,
     InvalidPlanError,
+    LifecycleError,
+    LifecycleState,
     NonFinitePrediction,
+    OutcomeError,
+    PredictionSettledError,
+    PromotionError,
     ResiliencePolicy,
     ServiceError,
     default_fallback_chain,
@@ -133,6 +195,8 @@ from .resilience import (
 )
 from .service import (
     AdmissionRejected,
+    OutcomeLog,
+    OutcomeRecord,
     Prediction,
     PredictionService,
     QueueFullError,
@@ -141,6 +205,17 @@ from .service import (
     UnknownModelError,
 )
 from .session import InferenceSession, SessionStats
+
+# Imported last: lifecycle pulls in repro.evaluation (drift), whose
+# package __init__ imports back into repro.serving — by now every name
+# it needs is bound, so the cycle resolves.
+from .lifecycle import (
+    LifecycleConfig,
+    LifecycleManager,
+    ShadowLog,
+    ShadowReport,
+    ShadowSession,
+)
 
 __all__ = [
     "PredictionService",
@@ -163,4 +238,17 @@ __all__ = [
     "InferenceSession",
     "SessionStats",
     "ModelRegistry",
+    "OutcomeLog",
+    "OutcomeRecord",
+    "OutcomeError",
+    "PredictionSettledError",
+    "LifecycleError",
+    "LifecycleState",
+    "InvalidLifecycleTransition",
+    "PromotionError",
+    "LifecycleConfig",
+    "LifecycleManager",
+    "ShadowSession",
+    "ShadowLog",
+    "ShadowReport",
 ]

@@ -63,6 +63,24 @@ class ModelRegistry:
         """Load a :func:`save_bundle` directory and register it."""
         return self.register(name, load_bundle(directory))
 
+    def replace_session(self, name: str, session: InferenceSession) -> InferenceSession:
+        """Atomically swap ``name`` to ``session``; returns the retired one.
+
+        The promotion primitive: unlike ``unregister`` + ``register``
+        (which opens a window where in-flight routing sees no model and
+        leaks :class:`UnknownModelError`), the swap happens under the
+        registry lock in one step — every lookup sees either the old
+        pair or the new pair, never neither.  Requires ``name`` to be
+        registered; batches already executing keep the session they
+        resolved, later batches pick up ``session``.
+        """
+        with self._lock:
+            self._require(name)
+            retired = self._sessions[name]
+            self._models[name] = session.model
+            self._sessions[name] = session
+        return retired
+
     def unregister(self, name: str) -> InferenceSession:
         """Drop ``name``; returns the retired session (e.g. for draining)."""
         with self._lock:

@@ -132,6 +132,94 @@ class NonFinitePrediction(ServiceError, ArithmeticError):
         self.indices = list(indices) if indices is not None else None
 
 
+class PredictionSettledError(ServiceError):
+    """A Prediction handle was settled (completed or failed) twice.
+
+    Settlement is terminal: ``_complete`` / ``_fail`` on a handle whose
+    event already fired would silently overwrite the delivered value and
+    double-count the service's completion/failure stats.  Raising instead
+    turns a double-settlement bug into a loud typed error at the second
+    settle site (the first caller's value stands, untouched).
+    """
+
+
+class OutcomeError(ServiceError):
+    """An observed outcome could not be recorded against a prediction.
+
+    Raised by :meth:`Prediction.observe` / ``PredictionService.record_outcome``
+    when the handle is still pending (there is no predicted value yet),
+    failed (nothing to compare an observation against), already observed
+    (a second ``observe`` would double-feed the drift monitors), or the
+    actual latency is non-finite or non-positive.
+    """
+
+
+class LifecycleError(ServiceError):
+    """Base class for model-lifecycle failures (retrain/shadow/promote)."""
+
+
+class InvalidLifecycleTransition(LifecycleError):
+    """A lifecycle operation was attempted from the wrong state."""
+
+    def __init__(self, current: str, requested: str) -> None:
+        super().__init__(
+            f"cannot transition lifecycle state {current!r} -> {requested!r} "
+            f"(allowed from {current!r}: "
+            f"{sorted(LifecycleState.TRANSITIONS.get(current, ()))})"
+        )
+        self.current = current
+        self.requested = requested
+
+
+class PromotionError(LifecycleError):
+    """The candidate failed its promotion gate (stay in shadow / demote)."""
+
+
+class LifecycleState:
+    """The model-lifecycle state machine (see ``serving.lifecycle``).
+
+    ::
+
+        live -> retraining -> shadow -> promoted -> live
+                    |            |         |
+                    +-> live     +---------+-> demoted -> live
+
+    * **live** — one model serves; outcomes feed the drift monitor.
+    * **retraining** — drift triggered; a copy of the live model is
+      fine-tuning on the observed stream (durable: a crash here resumes
+      from the last checkpoint, re-entering this same state).
+    * **shadow** — the candidate rides every live batch; the old model
+      answers, disagreement and outcome-joined errors are logged.
+    * **promoted** — the candidate took over atomically; the retired
+      session is retained so a post-promotion regression can roll back.
+    * **demoted** — the candidate was rejected (from shadow) or rolled
+      back (from promoted); the previous model serves again.
+
+    :meth:`check` validates a transition and raises
+    :class:`InvalidLifecycleTransition` on anything not drawn above.
+    """
+
+    LIVE = "live"
+    RETRAINING = "retraining"
+    SHADOW = "shadow"
+    PROMOTED = "promoted"
+    DEMOTED = "demoted"
+
+    TRANSITIONS: dict[str, frozenset] = {
+        LIVE: frozenset({RETRAINING}),
+        RETRAINING: frozenset({SHADOW, LIVE}),
+        SHADOW: frozenset({PROMOTED, DEMOTED}),
+        PROMOTED: frozenset({LIVE, DEMOTED}),
+        DEMOTED: frozenset({LIVE}),
+    }
+
+    @classmethod
+    def check(cls, current: str, requested: str) -> str:
+        if requested not in cls.TRANSITIONS.get(current, frozenset()):
+            raise InvalidLifecycleTransition(current, requested)
+        return requested
+
+
 # ----------------------------------------------------------------------
 # Circuit breaker
 # ----------------------------------------------------------------------

@@ -59,6 +59,8 @@ from .resilience import (
     DeadlineExceededError,
     InvalidPlanError,
     NonFinitePrediction,
+    OutcomeError,
+    PredictionSettledError,
     ResiliencePolicy,
     ServiceError,
 )
@@ -69,6 +71,10 @@ DEFAULT_MODEL_NAME = "default"
 
 #: Sample-window size for the latency / batch-size percentile estimates.
 STATS_WINDOW = 4096
+
+#: Default bound on the outcome journal (observed-latency records kept
+#: for drift detection and retraining; oldest evicted beyond this).
+OUTCOME_LOG_SIZE = 4096
 
 #: Smoothing factor for the drain-rate EWMA behind deadline admission
 #: (fraction of each new per-request service-time sample).
@@ -115,7 +121,10 @@ class Prediction:
     containing this request, then returns the predicted latency in ms
     (or raises the failure that hit the request — a typed
     :class:`ServiceError` or whatever the forward pass raised).  Handles
-    are created by the service; callers only read them.
+    are created by the service; callers only read them — with one write
+    path: once the query has actually run, :meth:`observe` feeds the
+    measured latency back into the service's outcome journal, closing
+    the serve→observe loop that drift detection and retraining consume.
     """
 
     __slots__ = (
@@ -124,6 +133,8 @@ class Prediction:
         "submitted_at",
         "deadline_at",
         "batch_size",
+        "observed_ms",
+        "_service",
         "_event",
         "_value",
         "_error",
@@ -136,6 +147,7 @@ class Prediction:
         model: str,
         submitted_at: float,
         deadline_at: Optional[float] = None,
+        service: Optional["PredictionService"] = None,
     ) -> None:
         self.plan = plan
         #: Registry name the request routes to.
@@ -149,6 +161,10 @@ class Prediction:
         #: model's share of the coalesced batch (set on completion; how
         #: much fusion the request actually got).
         self.batch_size: Optional[int] = None
+        #: Measured latency recorded via :meth:`observe` (``None`` until
+        #: an outcome has been recorded against this handle).
+        self.observed_ms: Optional[float] = None
+        self._service = service
         self._event = threading.Event()
         self._value: float = float("nan")
         self._error: Optional[BaseException] = None
@@ -177,14 +193,41 @@ class Prediction:
             return None
         return (self._completed_at - self.submitted_at) * 1e3
 
+    # -- outcome feedback ----------------------------------------------
+    def observe(self, actual_ms: float) -> "OutcomeRecord":
+        """Record the query's measured latency against this prediction.
+
+        Appends an :class:`OutcomeRecord` to the owning service's
+        :class:`OutcomeLog` and returns it.  Raises a typed
+        :class:`OutcomeError` if the handle is still pending, failed,
+        already observed, detached from any service, or ``actual_ms`` is
+        not a finite positive number.
+        """
+        if self._service is None:
+            raise OutcomeError(
+                "this Prediction is not attached to a service; "
+                "outcomes can only be recorded through PredictionService"
+            )
+        return self._service.record_outcome(self, actual_ms)
+
     # -- service-side completion ---------------------------------------
+    def _settled_guard(self) -> None:
+        if self._event.is_set():
+            outcome = "failed" if self._error is not None else "completed"
+            raise PredictionSettledError(
+                f"prediction for model {self.model!r} is already settled "
+                f"({outcome}); handles settle exactly once"
+            )
+
     def _complete(self, value: float, batch_size: int, now: float) -> None:
+        self._settled_guard()
         self._value = value
         self.batch_size = batch_size
         self._completed_at = now
         self._event.set()
 
     def _fail(self, error: BaseException) -> None:
+        self._settled_guard()
         self._error = error
         self._completed_at = time.monotonic()
         self._event.set()
@@ -233,6 +276,105 @@ class ServiceStats:
     #: Per-model breaker states (``closed`` / ``open`` / ``half_open``);
     #: empty when circuit breaking is disabled.
     breaker_states: dict = field(default_factory=dict)
+    #: Total observed outcomes ever recorded (``record_outcome`` /
+    #: ``Prediction.observe``); the journal itself keeps only the most
+    #: recent ``OUTCOME_LOG_SIZE``.
+    outcomes_recorded: int = 0
+
+
+# ----------------------------------------------------------------------
+# Outcome journal (serve→observe feedback for drift detection/retraining)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OutcomeRecord:
+    """One closed serve→observe loop: what we predicted vs what happened.
+
+    The plan object itself is retained (not just its signature) so the
+    retraining path can rebuild training samples from the observed
+    stream — executed plans carry per-node actuals, which is exactly
+    what ``vectorize_plan`` reads as labels.  The journal is bounded, so
+    retained plans are capped at the log size.
+    """
+
+    #: 1-based monotonically increasing sequence number (journal-wide,
+    #: survives eviction — consumers poll with ``since(seq)``).
+    seq: int
+    #: The plan's structure signature (drift monitors count unseen ones).
+    signature: str
+    predicted_ms: float
+    observed_ms: float
+    #: Registry name of the model that produced the prediction.
+    model: str
+    #: ``time.time()`` at recording.
+    timestamp: float
+    plan: PlanNode
+
+    @property
+    def relative_error(self) -> float:
+        """``|observed - predicted| / observed`` (observed is validated > 0)."""
+        return abs(self.observed_ms - self.predicted_ms) / self.observed_ms
+
+
+class OutcomeLog:
+    """Bounded, thread-safe journal of :class:`OutcomeRecord`.
+
+    Appends assign a journal-wide sequence number under the log's own
+    lock; readers get consistent snapshots.  ``since(seq)`` returns the
+    records appended after ``seq`` that are still retained — a poller
+    that falls more than ``maxlen`` behind silently loses the evicted
+    prefix (by design: the journal bounds memory, not history).
+    """
+
+    def __init__(self, maxlen: int = OUTCOME_LOG_SIZE) -> None:
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
+        self.maxlen = maxlen
+        self._lock = threading.Lock()
+        self._records: deque[OutcomeRecord] = deque(maxlen=maxlen)
+        self._total = 0
+
+    def record(
+        self,
+        *,
+        signature: str,
+        predicted_ms: float,
+        observed_ms: float,
+        model: str,
+        plan: PlanNode,
+    ) -> OutcomeRecord:
+        with self._lock:
+            self._total += 1
+            rec = OutcomeRecord(
+                seq=self._total,
+                signature=signature,
+                predicted_ms=predicted_ms,
+                observed_ms=observed_ms,
+                model=model,
+                timestamp=time.time(),
+                plan=plan,
+            )
+            self._records.append(rec)
+        return rec
+
+    @property
+    def total(self) -> int:
+        """Outcomes ever recorded (not just those still retained)."""
+        with self._lock:
+            return self._total
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def snapshot(self) -> list[OutcomeRecord]:
+        """All currently retained records, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def since(self, seq: int) -> list[OutcomeRecord]:
+        """Retained records with ``rec.seq > seq``, oldest first."""
+        with self._lock:
+            return [rec for rec in self._records if rec.seq > seq]
 
 
 # ----------------------------------------------------------------------
@@ -287,6 +429,7 @@ class PredictionService:
         max_queue_depth: int = 4096,
         admission_hook: Optional[AdmissionHook] = None,
         resilience: Optional[ResiliencePolicy] = None,
+        outcome_log_size: int = OUTCOME_LOG_SIZE,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -314,6 +457,9 @@ class PredictionService:
         self.max_queue_depth = max_queue_depth
         self.admission_hook = admission_hook
         self.resilience = resilience if resilience is not None else ResiliencePolicy()
+        #: Observed-latency journal fed by ``record_outcome`` /
+        #: ``Prediction.observe`` (its own lock; never under self._lock).
+        self.outcomes = OutcomeLog(outcome_log_size)
 
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -553,7 +699,10 @@ class PredictionService:
                         )
             now = time.monotonic()
             deadline_at = None if deadline_ms is None else now + deadline_ms / 1e3
-            requests = [Prediction(plan, name, now, deadline_at) for plan in plans]
+            requests = [
+                Prediction(plan, name, now, deadline_at, service=self)
+                for plan in plans
+            ]
             self._queue.extend(requests)
             self._submitted += len(requests)
             self._not_empty.notify()
@@ -571,6 +720,53 @@ class PredictionService:
         in-flight requests, which is the whole point of the service.
         """
         return self.submit(plan, model=model, deadline_ms=deadline_ms).result()
+
+    # ------------------------------------------------------------------
+    # Outcome feedback
+    # ------------------------------------------------------------------
+    def record_outcome(self, prediction: Prediction, actual_ms: float) -> OutcomeRecord:
+        """Journal the measured latency for a completed prediction.
+
+        The serve→observe half of the model lifecycle: callers who later
+        learn what the query actually took report it here (usually via
+        :meth:`Prediction.observe`).  Validation is typed and strict —
+        the handle must have completed with a value, must not have been
+        observed before, and ``actual_ms`` must be a finite positive
+        number — because these records feed drift detection and
+        retraining, where silently bad feedback is worse than none.
+        """
+        try:
+            actual = float(actual_ms)
+        except (TypeError, ValueError):
+            raise OutcomeError(f"actual_ms must be a number, got {actual_ms!r}")
+        if not np.isfinite(actual) or actual <= 0:
+            raise OutcomeError(
+                f"actual_ms must be a finite positive latency, got {actual!r}"
+            )
+        if not prediction.done():
+            raise OutcomeError(
+                "prediction is still pending; observe outcomes only after result()"
+            )
+        if prediction._error is not None:
+            raise OutcomeError(
+                "prediction failed "
+                f"({type(prediction._error).__name__}); there is no predicted "
+                "value to record an outcome against"
+            )
+        with self._lock:
+            if prediction.observed_ms is not None:
+                raise OutcomeError(
+                    f"outcome already recorded for this prediction "
+                    f"({prediction.observed_ms:.3f}ms); outcomes record exactly once"
+                )
+            prediction.observed_ms = actual
+        return self.outcomes.record(
+            signature=prediction.plan.structure_signature(),
+            predicted_ms=prediction._value,
+            observed_ms=actual,
+            model=prediction.model,
+            plan=prediction.plan,
+        )
 
     # ------------------------------------------------------------------
     # Observability
@@ -624,6 +820,7 @@ class PredictionService:
             fallback_completed=fallback_completed,
             breaker_rejected=breaker_rejected,
             breaker_states={name: b.state for name, b in breakers.items()},
+            outcomes_recorded=self.outcomes.total,
         )
 
     # ------------------------------------------------------------------

@@ -10,12 +10,17 @@ layers lives here, so faults are injected the same way everywhere:
 * :func:`~repro.testing.faults.kill_at_epoch` — a ``Trainer.fit``
   ``epoch_hook`` that simulates the process dying mid-fit;
 * :func:`~repro.testing.faults.raise_on_calls` — make any callable fail
-  on a chosen set of invocations.
+  on a chosen set of invocations;
+* :class:`~repro.testing.faults.LatencyDrift` — wraps a
+  :class:`~repro.engine.simulator.Simulator` and scales executed
+  latencies (returned and annotated) by a factor from a chosen call on:
+  deterministic synthetic drift for the model-lifecycle drills.
 """
 
 from .faults import (
     FaultySession,
     InjectedFault,
+    LatencyDrift,
     SimulatedCrash,
     kill_at_epoch,
     raise_on_calls,
@@ -24,6 +29,7 @@ from .faults import (
 __all__ = [
     "FaultySession",
     "InjectedFault",
+    "LatencyDrift",
     "SimulatedCrash",
     "kill_at_epoch",
     "raise_on_calls",

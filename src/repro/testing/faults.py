@@ -146,3 +146,60 @@ class FaultySession:
 
     def __repr__(self) -> str:
         return f"FaultySession({self.inner!r}, calls={self.calls}, faults={self.faults_injected})"
+
+
+class LatencyDrift:
+    """Deterministic synthetic drift: scale executed latencies by ``factor``.
+
+    Wraps anything with the :class:`~repro.engine.simulator.Simulator`
+    ``execute(root, rng)`` interface.  From the ``start_call``-th
+    execution (1-based) onward, every executed plan's actuals are
+    multiplied by ``factor`` — the returned root latency *and* the
+    per-node annotations (``actual_total_ms`` and ``truth["self_ms"]``)
+    the simulator wrote — so labels later harvested from these plans for
+    fine-tuning are consistent with the drifted regime, exactly as if
+    the underlying hardware had slowed down.
+
+    Drives the lifecycle drills: serve a model trained on the undrifted
+    simulator, flip traffic through a ``LatencyDrift(sim, factor=3)``,
+    and the observed stream shifts deterministically — no randomness, so
+    a failing drill replays identically.
+    """
+
+    def __init__(self, inner, factor: float, start_call: int = 1) -> None:
+        if not factor > 0:
+            raise ValueError("factor must be positive")
+        if start_call < 1:
+            raise ValueError("start_call must be >= 1 (1-based)")
+        self.inner = inner
+        self.factor = float(factor)
+        self.start_call = int(start_call)
+        self.calls = 0
+        self.drifted = 0
+
+    def execute(self, root: PlanNode, rng=None) -> float:
+        self.calls += 1
+        latency = self.inner.execute(root, rng)
+        if self.calls < self.start_call:
+            return latency
+        self.drifted += 1
+        for node in root.preorder():
+            if node.actual_total_ms is not None:
+                node.actual_total_ms *= self.factor
+            if node.truth.get("self_ms") is not None:
+                node.truth["self_ms"] *= self.factor
+        return latency * self.factor
+
+    def execute_many(self, roots: Sequence[PlanNode], rng=None) -> list[float]:
+        # Routed through execute() so every plan gets the drift treatment
+        # (delegating to the wrapped simulator's batch path would not).
+        return [self.execute(root, rng) for root in roots]
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyDrift({self.inner!r}, factor={self.factor}, "
+            f"calls={self.calls}, drifted={self.drifted})"
+        )

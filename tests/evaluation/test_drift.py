@@ -1,0 +1,234 @@
+"""Drift detection units: EWMA-vs-baseline, Page–Hinkley, unseen
+structures, thresholds and reset (ISSUE 8: live model lifecycle)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.evaluation.drift import (
+    DriftMonitor,
+    DriftReport,
+    DriftThresholds,
+    PageHinkley,
+)
+
+
+class TestPageHinkley:
+    def test_stationary_stream_stays_quiet(self):
+        rng = np.random.default_rng(0)
+        ph = PageHinkley(delta=0.05, threshold=5.0)
+        for x in np.abs(rng.normal(0.4, 0.3, size=2000)):
+            ph.update(float(x))
+        assert not ph.triggered
+
+    def test_mean_shift_triggers(self):
+        rng = np.random.default_rng(1)
+        ph = PageHinkley(delta=0.05, threshold=5.0)
+        for x in np.abs(rng.normal(0.4, 0.3, size=500)):
+            ph.update(float(x))
+        assert not ph.triggered
+        fired_after = None
+        for i, x in enumerate(np.abs(rng.normal(1.2, 0.3, size=200))):
+            if ph.update(float(x)):
+                fired_after = i + 1
+                break
+        assert fired_after is not None and fired_after < 100
+
+    def test_statistic_is_nonnegative_and_resets(self):
+        ph = PageHinkley()
+        for x in (0.1, 0.9, 0.1, 0.9):
+            ph.update(x)
+        assert ph.statistic >= 0.0
+        ph.reset()
+        assert ph.statistic == 0.0 and not ph.triggered
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageHinkley(delta=-0.1)
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+
+
+class TestThresholds:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(error_ratio=1.0),
+            dict(ewma_alpha=0.0),
+            dict(ewma_alpha=1.5),
+            dict(min_observations=0),
+            dict(ph_delta=-1.0),
+            dict(ph_threshold=0.0),
+            dict(unseen_rate=0.0),
+            dict(unseen_window=0),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            DriftThresholds(**kwargs)
+
+
+class TestDriftMonitor:
+    def make(self, baseline=0.3, **thr):
+        defaults = dict(error_ratio=1.5, ewma_alpha=0.1, min_observations=16)
+        defaults.update(thr)
+        return DriftMonitor(baseline, thresholds=DriftThresholds(**defaults))
+
+    def test_in_distribution_stream_never_triggers(self):
+        monitor = self.make(baseline=0.3)
+        rng = np.random.default_rng(2)
+        # observed = predicted * (1 +- ~30%): rel errors hover at baseline
+        for _ in range(1000):
+            pred = float(rng.uniform(10, 1000))
+            obs = pred / (1.0 - float(rng.uniform(-0.3, 0.3)))
+            monitor.observe(pred, obs)
+        report = monitor.report()
+        assert not report.triggered
+        assert report.observations == 1000
+        assert report.ewma_rel_error == pytest.approx(0.15, abs=0.1)
+
+    def test_relative_error_blowup_triggers(self):
+        monitor = self.make(baseline=0.1)
+        for _ in range(64):
+            monitor.observe(100.0, 300.0)  # rel error 0.667 vs baseline 0.1
+        report = monitor.report()
+        assert report.triggered
+        assert DriftMonitor.RELATIVE_ERROR in report.reasons
+        assert report.error_ratio > 1.5
+
+    def test_mean_shift_reason(self):
+        monitor = self.make(baseline=2.5, error_ratio=10.0)
+        # EWMA ratio can never trip (huge baseline, huge ratio); a real
+        # mean shift still must — that is Page–Hinkley's job.
+        rng = np.random.default_rng(3)
+        for _ in range(300):
+            pred = 100.0
+            obs = 100.0 / (1.0 - float(rng.uniform(0.1, 0.4)))
+            monitor.observe(pred, obs)
+        assert not monitor.report().triggered
+        for _ in range(200):
+            monitor.observe(100.0, 500.0)
+        report = monitor.report()
+        assert report.triggered
+        assert report.reasons == (DriftMonitor.MEAN_SHIFT,)
+
+    def test_unseen_structures_trigger_and_count(self):
+        monitor = DriftMonitor(
+            0.3,
+            thresholds=DriftThresholds(
+                error_ratio=100.0,
+                min_observations=16,
+                unseen_rate=0.25,
+                unseen_window=64,
+                ph_threshold=1e9,
+            ),
+            known_signatures={"known-a", "known-b"},
+        )
+        for i in range(40):
+            monitor.observe(100.0, 100.0, signature="known-a")
+        assert not monitor.report().triggered
+        for i in range(40):
+            monitor.observe(100.0, 100.0, signature=f"novel-{i}")
+        report = monitor.report()
+        assert report.triggered
+        assert report.reasons == (DriftMonitor.UNSEEN_STRUCTURES,)
+        assert report.unseen_rate > 0.25
+        assert report.unseen_signatures == 40
+
+    def test_min_observations_gates_every_detector(self):
+        monitor = self.make(baseline=0.1, min_observations=32)
+        for _ in range(31):
+            monitor.observe(100.0, 1000.0, signature="never-seen")
+        assert not monitor.report().triggered
+        monitor.observe(100.0, 1000.0, signature="never-seen")
+        assert monitor.report().triggered
+
+    def test_signature_optional(self):
+        monitor = self.make()
+        monitor.observe(100.0, 110.0)  # no signature: structure detector skips
+        assert monitor.report().unseen_rate == 0.0
+
+    def test_observe_validation(self):
+        monitor = self.make()
+        with pytest.raises(ValueError):
+            monitor.observe(100.0, 0.0)
+        with pytest.raises(ValueError):
+            monitor.observe(100.0, -5.0)
+        with pytest.raises(ValueError):
+            monitor.observe(float("nan"), 100.0)
+        with pytest.raises(ValueError):
+            monitor.observe(100.0, float("inf"))
+
+    def test_bad_baseline_rejected(self):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                DriftMonitor(bad)
+
+    def test_reset_rearms(self):
+        monitor = self.make(baseline=0.1)
+        for _ in range(64):
+            monitor.observe(100.0, 1000.0, signature="novel")
+        assert monitor.report().triggered
+        monitor.reset()
+        report = monitor.report()
+        assert not report.triggered
+        assert report.observations == 0
+        assert report.ewma_rel_error == pytest.approx(0.1)
+
+    def test_reset_extends_known_and_rebases(self):
+        monitor = DriftMonitor(
+            0.1, known_signatures={"a"}, thresholds=DriftThresholds(min_observations=4)
+        )
+        monitor.reset(0.5, extend_known={"b", "c"})
+        assert monitor.baseline_rel_error == 0.5
+        assert monitor.known_signatures == frozenset({"a", "b", "c"})
+        with pytest.raises(ValueError):
+            monitor.reset(-1.0)
+
+    def test_from_offline_baseline(self):
+        actual = [100.0, 200.0, 400.0]
+        predicted = [110.0, 180.0, 500.0]
+        monitor = DriftMonitor.from_offline_baseline(actual, predicted)
+        expected = np.mean(np.abs(np.array(actual) - predicted) / np.array(actual))
+        assert monitor.baseline_rel_error == pytest.approx(float(expected))
+
+    def test_observe_record_duck_typing(self):
+        class Rec:
+            predicted_ms = 100.0
+            observed_ms = 150.0
+            signature = "sig"
+
+        monitor = self.make()
+        monitor.observe_record(Rec())
+        assert monitor.report().observations == 1
+
+    def test_report_is_frozen_snapshot(self):
+        monitor = self.make()
+        monitor.observe(100.0, 120.0)
+        report = monitor.report()
+        assert isinstance(report, DriftReport)
+        with pytest.raises(AttributeError):
+            report.triggered = True
+
+    def test_concurrent_observers_smoke(self):
+        monitor = self.make(min_observations=1)
+        errors = []
+
+        def hammer(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(500):
+                    pred = float(rng.uniform(10, 100))
+                    monitor.observe(pred, pred * 1.1, signature=f"s{seed}")
+                    monitor.report()
+            except Exception as e:  # pragma: no cover
+                errors.append(e)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert monitor.report().observations == 2000

@@ -16,6 +16,7 @@ from repro.serving import (
     ModelRegistry,
     Prediction,
     PredictionService,
+    PredictionSettledError,
     QueueFullError,
     ServiceError,
     ServiceStoppedError,
@@ -506,3 +507,104 @@ class TestLifecycle:
         service = PredictionService(model)
         assert service.submit_many([]) == []
         service.stop()
+
+
+class TestPredictionSettlement:
+    """Handles settle exactly once: a second ``_complete`` / ``_fail``
+    is a service bug and must raise instead of silently overwriting the
+    delivered value (and double-counting stats)."""
+
+    def make_handle(self, plans):
+        return Prediction(plans[0], "m", time.monotonic())
+
+    def test_double_complete_raises(self, plans):
+        handle = self.make_handle(plans)
+        handle._complete(10.0, 1, time.monotonic())
+        with pytest.raises(PredictionSettledError, match="completed"):
+            handle._complete(20.0, 1, time.monotonic())
+        assert handle.result() == 10.0  # first settlement stands
+
+    def test_fail_after_complete_raises(self, plans):
+        handle = self.make_handle(plans)
+        handle._complete(10.0, 1, time.monotonic())
+        with pytest.raises(PredictionSettledError, match="completed"):
+            handle._fail(RuntimeError("late failure"))
+        assert handle.exception() is None
+
+    def test_complete_after_fail_raises(self, plans):
+        handle = self.make_handle(plans)
+        handle._fail(RuntimeError("boom"))
+        with pytest.raises(PredictionSettledError, match="failed"):
+            handle._complete(10.0, 1, time.monotonic())
+        assert isinstance(handle.exception(), RuntimeError)
+
+    def test_double_fail_raises(self, plans):
+        handle = self.make_handle(plans)
+        handle._fail(RuntimeError("first"))
+        with pytest.raises(PredictionSettledError, match="failed"):
+            handle._fail(RuntimeError("second"))
+        assert str(handle.exception()) == "first"
+
+    def test_settled_error_is_service_error(self, plans):
+        handle = self.make_handle(plans)
+        handle._complete(10.0, 1, time.monotonic())
+        with pytest.raises(ServiceError):
+            handle._complete(20.0, 1, time.monotonic())
+
+
+class TestStatsConsistency:
+    """ServiceStats is one consistent snapshot, not a racy read of live
+    counters."""
+
+    def test_snapshot_invariants_under_concurrent_traffic(self, model, plans):
+        """4 submitters + 2 stats pollers: every snapshot must satisfy
+        the conservation law submitted = completed + failed + in-flight,
+        with monotone counters across successive polls."""
+        service = PredictionService(model, max_batch_size=16, max_wait_ms=0.2)
+        stop = threading.Event()
+        errors = []
+
+        def submitter(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                while not stop.is_set():
+                    plan = plans[int(rng.integers(len(plans)))]
+                    service.submit(plan).result(timeout=30)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        def poller():
+            last = None
+            try:
+                while not stop.is_set():
+                    s = service.stats()
+                    in_flight = s.submitted - s.completed - s.failed
+                    # queue_depth counts waiting requests; a batch being
+                    # executed is in flight but already dequeued.
+                    assert s.queue_depth <= in_flight
+                    assert in_flight <= s.queue_depth + service.max_batch_size
+                    assert s.failed == 0 and s.rejected == 0
+                    if last is not None:
+                        assert s.submitted >= last.submitted
+                        assert s.completed >= last.completed
+                        assert s.batches >= last.batches
+                        assert s.outcomes_recorded >= last.outcomes_recorded
+                    last = s
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        with service:
+            threads = [
+                threading.Thread(target=submitter, args=(i,)) for i in range(4)
+            ] + [threading.Thread(target=poller) for _ in range(2)]
+            for t in threads:
+                t.start()
+            time.sleep(1.0)
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+                assert not t.is_alive()
+        assert not errors
+        final = service.stats()
+        assert final.submitted == final.completed + final.failed
+        assert final.submitted > 0 and final.failed == 0
