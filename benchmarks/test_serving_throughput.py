@@ -62,6 +62,12 @@ measurement is pure bookkeeping, never a retrain).  The armed service
 must sustain >= ``1 - BENCH_LIFECYCLE_MAX_OVERHEAD`` of the plain
 throughput.
 
+An eighth measurement (ISSUE 9 "ingestion" section) tracks the
+real-engine EXPLAIN front-end: plans/s through dialect parsing
+(validation included) and through the full parse -> featurize path,
+replayed over the golden fixture corpus, gated loosely by
+``BENCH_INGEST_MIN_PLANS_PER_S``.
+
 All sections are recorded in ``BENCH_serving.json`` (override the path
 via the ``BENCH_SERVING_JSON`` env var) so CI can archive the serving
 perf trajectory next to the training numbers.
@@ -726,3 +732,85 @@ def test_float32_service_throughput(workload_f32):
     assert agreement <= F32_REL_TOL
     assert ratio >= SERVICE_MIN_RATIO
     assert stats.p99_latency_ms <= 2.0 + 10.0 * (whole_batch_s * 1e3)
+
+
+# ----------------------------------------------------------------------
+# Ingestion throughput (real-engine EXPLAIN front-end)
+# ----------------------------------------------------------------------
+INGEST_MIN_PLANS_PER_S = float(
+    os.environ.get("BENCH_INGEST_MIN_PLANS_PER_S", "200")
+)
+#: How many times the golden corpus is replayed per timing pass: the
+#: fixture set is small (a few dozen documents), so one pass is below
+#: timer resolution.
+INGEST_REPLAY = 20
+
+
+def test_ingestion_throughput():
+    """Plans/s through the real-engine front-end: raw-dialect parsing
+    (postgres + duckdb + mysql, validation included) and the full
+    parse -> featurize path that a training run pays per ingested plan.
+
+    The section is tracked, not raced: parsing is pure-Python tree
+    walking, so the gate (``BENCH_INGEST_MIN_PLANS_PER_S``, default 200)
+    only guards against an accidental quadratic walk or per-node
+    revalidation creeping into the dialect parsers, and the CI perf lane
+    is non-blocking like every other section here.
+    """
+    from pathlib import Path
+
+    from repro.core.batching import PreGroupedCorpus
+    from repro.ingest import as_samples, parse
+
+    fixtures = Path(__file__).parent.parent / "tests" / "fixtures" / "explain"
+    documents = [
+        (path.parent.name, path.read_text())
+        for path in sorted(fixtures.rglob("*.json"))
+    ]
+    assert documents, "golden EXPLAIN fixture corpus missing"
+
+    def parse_all():
+        plans = []
+        for engine, text in documents:
+            plans.extend(parse(text, engine))
+        return plans
+
+    plans = parse_all()
+    n_per_replay = len(plans)
+    samples = as_samples(plans, require_labels=False)
+    featurizer = Featurizer().fit([s.plan for s in samples])
+    config = QPPNetConfig()
+
+    def featurize_all(parsed):
+        labelled = as_samples(parsed, require_labels=False)
+        PreGroupedCorpus.from_samples(labelled, featurizer, dtype=config.np_dtype)
+        return labelled
+
+    parse_s = _best_of(lambda: [parse_all() for _ in range(INGEST_REPLAY)])
+    end_to_end_s = _best_of(
+        lambda: [featurize_all(parse_all()) for _ in range(INGEST_REPLAY)]
+    )
+    n_total = n_per_replay * INGEST_REPLAY
+    parse_rate = n_total / parse_s
+    e2e_rate = n_total / end_to_end_s
+
+    out_path = _update_bench(
+        "ingestion",
+        {
+            "n_documents": len(documents),
+            "n_plans_per_replay": n_per_replay,
+            "replays": INGEST_REPLAY,
+            "parse_plans_per_s": round(parse_rate, 1),
+            "parse_featurize_plans_per_s": round(e2e_rate, 1),
+            "required_plans_per_s": INGEST_MIN_PLANS_PER_S,
+        },
+    )
+
+    print(
+        f"\n[ingestion] {len(documents)} golden documents x{INGEST_REPLAY} replays\n"
+        f"  parse (validated) : {parse_s:.4f}s  ({parse_rate:8.0f} plans/s)\n"
+        f"  parse + featurize : {end_to_end_s:.4f}s  ({e2e_rate:8.0f} plans/s)\n"
+        f"  -> {out_path}"
+    )
+
+    assert e2e_rate >= INGEST_MIN_PLANS_PER_S

@@ -9,6 +9,7 @@ Public API quick map
 ``repro.optimizer``   cost-based planner with estimated cardinalities
 ``repro.engine``      execution simulator (ground-truth latencies)
 ``repro.workload``    query templates, corpus generation, splits
+``repro.ingest``      real-engine EXPLAIN ingestion (postgres/duckdb/mysql)
 ``repro.featurize``   Appendix-B feature encoding
 ``repro.core``        QPP Net: neural units, plan-structured model, trainer
 ``repro.serving``     batched inference: compile / cache / bucket / scatter

@@ -1,6 +1,20 @@
-"""Evaluation: metrics (§6), the shared train/score harness, and online
-drift detection for live serving (``evaluation.drift``)."""
+"""Evaluation: metrics (§6), the shared train/score harness, online
+drift detection for live serving (``evaluation.drift``), and the
+cross-engine generalized suite over ingested real-engine corpora
+(``evaluation.crossengine``: per-engine accuracy, unseen-template /
+unseen-operator generalization, latency-bucket calibration)."""
 
+from .crossengine import (
+    CalibrationBucket,
+    CrossEngineReport,
+    EngineReport,
+    GeneralizationReport,
+    evaluate_cross_engine,
+    evaluate_engine,
+    latency_calibration,
+    split_unseen_operator,
+    split_unseen_template,
+)
 from .drift import DriftMonitor, DriftReport, DriftThresholds, PageHinkley
 from .harness import (
     MODEL_ORDER,
@@ -47,4 +61,13 @@ __all__ = [
     "DriftReport",
     "DriftThresholds",
     "PageHinkley",
+    "CalibrationBucket",
+    "GeneralizationReport",
+    "EngineReport",
+    "CrossEngineReport",
+    "latency_calibration",
+    "split_unseen_template",
+    "split_unseen_operator",
+    "evaluate_engine",
+    "evaluate_cross_engine",
 ]

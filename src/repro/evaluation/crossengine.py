@@ -1,0 +1,326 @@
+"""Cross-engine generalized evaluation suite ("Breaking Flat"-style).
+
+A flat test-set relative error hides exactly the failure modes that
+matter when a learned predictor meets a real engine: templates it never
+trained on, operators it never trained on, and systematic
+miscalibration in particular latency regimes.  This module evaluates an
+ingested corpus (see :mod:`repro.ingest`) per engine along those axes:
+
+* **Per-engine accuracy** — a model trained and scored within each
+  engine's corpus: relative error, MAE, the paper's R-buckets.
+* **Unseen-template generalization** — an entire query template held
+  out of training; the gap between its error and the seen-template
+  error is the template-interpolation penalty.
+* **Unseen-operator generalization** — every plan containing a chosen
+  logical operator type held out of training, so the operator's neural
+  unit keeps its random initialization; scored on exactly those plans.
+* **Latency-bucket calibration** — the test set quantile-split by
+  actual latency; per bucket, relative error and the calibration
+  ratio ``mean(predicted) / mean(actual)`` (>1 over-predicts, <1
+  under-predicts) expose regime-dependent bias a single mean hides.
+
+Everything runs through the standard stack — ``Featurizer`` fitted per
+engine (real vocabularies differ), ``Trainer.fit``, batched
+``predictions_of`` — so the suite doubles as an end-to-end proof that
+the training/serving spine is engine-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import QPPNetConfig
+from repro.plans.operators import LogicalType
+from repro.workload.generator import PlanSample
+
+from .harness import predictions_of, train_qppnet_model
+from .metrics import RBuckets, mean_absolute_error, r_buckets, relative_error
+
+
+@dataclass(frozen=True)
+class CalibrationBucket:
+    """One actual-latency regime of the calibration table."""
+
+    lo_ms: float
+    hi_ms: float
+    n: int
+    mean_actual_ms: float
+    mean_predicted_ms: float
+    rel_error: float
+    #: ``mean(predicted) / mean(actual)`` — 1.0 is perfectly calibrated.
+    ratio: float
+
+
+@dataclass(frozen=True)
+class GeneralizationReport:
+    """Held-out-axis scores (unseen templates or unseen operators)."""
+
+    kind: str  # "unseen_template" | "unseen_operator"
+    held_out: tuple[str, ...]
+    n_train: int
+    n_test: int
+    rel_error: float
+    mae_ms: float
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """Everything the suite reports for one engine's corpus."""
+
+    engine: str
+    n_train: int
+    n_test: int
+    rel_error: float
+    mae_ms: float
+    buckets: RBuckets
+    calibration: tuple[CalibrationBucket, ...]
+    unseen_template: Optional[GeneralizationReport] = None
+    unseen_operator: Optional[GeneralizationReport] = None
+
+    def rows(self) -> list[dict[str, object]]:
+        """Flat printable rows (one per reported axis)."""
+        out: list[dict[str, object]] = [
+            {
+                "engine": self.engine,
+                "axis": "in-distribution",
+                "n": self.n_test,
+                "rel_error": round(self.rel_error, 4),
+                "mae_ms": round(self.mae_ms, 3),
+            }
+        ]
+        for report in (self.unseen_template, self.unseen_operator):
+            if report is not None:
+                out.append(
+                    {
+                        "engine": self.engine,
+                        "axis": report.kind,
+                        "held_out": ", ".join(report.held_out),
+                        "n": report.n_test,
+                        "rel_error": round(report.rel_error, 4),
+                        "mae_ms": round(report.mae_ms, 3),
+                    }
+                )
+        for bucket in self.calibration:
+            out.append(
+                {
+                    "engine": self.engine,
+                    "axis": f"calibration [{bucket.lo_ms:.1f}, {bucket.hi_ms:.1f}) ms",
+                    "n": bucket.n,
+                    "rel_error": round(bucket.rel_error, 4),
+                    "ratio": round(bucket.ratio, 3),
+                }
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class CrossEngineReport:
+    """The full suite: one :class:`EngineReport` per ingested engine."""
+
+    engines: dict[str, EngineReport] = field(default_factory=dict)
+
+    def rows(self) -> list[dict[str, object]]:
+        return [row for name in sorted(self.engines) for row in self.engines[name].rows()]
+
+
+# ----------------------------------------------------------------------
+# Axis helpers (pure, reusable, unit-tested on their own)
+# ----------------------------------------------------------------------
+def latency_calibration(
+    actual: Sequence[float], predicted: Sequence[float], n_buckets: int = 3
+) -> tuple[CalibrationBucket, ...]:
+    """Quantile-bucket calibration table over actual latency."""
+    actual = np.asarray(actual, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if actual.shape != predicted.shape or actual.ndim != 1 or len(actual) == 0:
+        raise ValueError("actual and predicted must be equal-length 1-D arrays")
+    if n_buckets < 1:
+        raise ValueError("n_buckets must be >= 1")
+    edges = np.quantile(actual, np.linspace(0.0, 1.0, n_buckets + 1))
+    buckets: list[CalibrationBucket] = []
+    for i in range(n_buckets):
+        lo, hi = float(edges[i]), float(edges[i + 1])
+        mask = (
+            (actual >= lo) & (actual <= hi)
+            if i == n_buckets - 1
+            else (actual >= lo) & (actual < hi)
+        )
+        if not mask.any():
+            continue
+        a, p = actual[mask], predicted[mask]
+        buckets.append(
+            CalibrationBucket(
+                lo_ms=lo,
+                hi_ms=hi,
+                n=int(mask.sum()),
+                mean_actual_ms=float(a.mean()),
+                mean_predicted_ms=float(p.mean()),
+                rel_error=float(np.mean(np.abs(a - p) / a)),
+                ratio=float(p.mean() / a.mean()),
+            )
+        )
+    return tuple(buckets)
+
+
+def split_unseen_template(
+    samples: Sequence[PlanSample], rng: np.random.Generator
+) -> Optional[tuple[list[PlanSample], list[PlanSample], tuple[str, ...]]]:
+    """Hold one whole template out of training.
+
+    Picks (reproducibly) among templates that leave a non-empty training
+    remainder; returns ``None`` when the corpus has fewer than two
+    templates (the axis is unmeasurable, not an error).
+    """
+    by_template: dict[str, list[PlanSample]] = {}
+    for sample in samples:
+        by_template.setdefault(sample.template_id, []).append(sample)
+    if len(by_template) < 2:
+        return None
+    held = str(rng.choice(sorted(by_template)))
+    test = by_template[held]
+    train = [s for s in samples if s.template_id != held]
+    return train, test, (held,)
+
+
+def split_unseen_operator(
+    samples: Sequence[PlanSample],
+) -> Optional[tuple[list[PlanSample], list[PlanSample], tuple[str, ...]]]:
+    """Hold out every plan containing one logical operator type.
+
+    The held-out type is the rarest one that appears in some-but-not-all
+    plans while leaving both splits non-empty — the sharpest available
+    "the unit never saw a gradient" probe.  ``None`` when no type
+    partitions the corpus.
+    """
+    presence: dict[LogicalType, int] = {}
+    per_plan: list[set[LogicalType]] = []
+    for sample in samples:
+        types = {node.logical_type for node in sample.plan.preorder()}
+        per_plan.append(types)
+        for ltype in types:
+            presence[ltype] = presence.get(ltype, 0) + 1
+    candidates = [
+        (count, ltype.value, ltype)
+        for ltype, count in presence.items()
+        if 0 < count < len(samples)
+    ]
+    if not candidates:
+        return None
+    _, _, held = min(candidates)
+    test = [s for s, types in zip(samples, per_plan) if held in types]
+    train = [s for s, types in zip(samples, per_plan) if held not in types]
+    return train, test, (held.value,)
+
+
+# ----------------------------------------------------------------------
+# The suite
+# ----------------------------------------------------------------------
+def _score(
+    kind: str,
+    held_out: tuple[str, ...],
+    train: Sequence[PlanSample],
+    test: Sequence[PlanSample],
+    config: QPPNetConfig,
+) -> GeneralizationReport:
+    model, _ = train_qppnet_model(train, config)
+    actual = np.array([s.latency_ms for s in test])
+    predicted = predictions_of(model, test)
+    return GeneralizationReport(
+        kind=kind,
+        held_out=held_out,
+        n_train=len(train),
+        n_test=len(test),
+        rel_error=relative_error(actual, predicted),
+        mae_ms=mean_absolute_error(actual, predicted),
+    )
+
+
+def evaluate_engine(
+    samples: Sequence[PlanSample],
+    engine: str,
+    config: Optional[QPPNetConfig] = None,
+    seed: int = 0,
+    test_fraction: float = 0.3,
+    n_calibration_buckets: int = 3,
+) -> EngineReport:
+    """Run every axis of the suite over one engine's labelled corpus."""
+    if len(samples) < 4:
+        raise ValueError(
+            f"{engine}: need >= 4 labelled plans to evaluate, got {len(samples)}"
+        )
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    config = config or QPPNetConfig(epochs=30, batch_size=32, seed=seed)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(samples))
+    n_test = max(1, int(round(len(samples) * test_fraction)))
+    if n_test >= len(samples):
+        n_test = len(samples) - 1
+    test = [samples[i] for i in order[:n_test]]
+    train = [samples[i] for i in order[n_test:]]
+
+    model, _ = train_qppnet_model(train, config)
+    actual = np.array([s.latency_ms for s in test])
+    predicted = predictions_of(model, test)
+
+    template_split = split_unseen_template(samples, rng)
+    operator_split = split_unseen_operator(samples)
+    return EngineReport(
+        engine=engine,
+        n_train=len(train),
+        n_test=len(test),
+        rel_error=relative_error(actual, predicted),
+        mae_ms=mean_absolute_error(actual, predicted),
+        buckets=r_buckets(actual, predicted),
+        calibration=latency_calibration(actual, predicted, n_calibration_buckets),
+        unseen_template=(
+            _score("unseen_template", template_split[2], template_split[0],
+                   template_split[1], config)
+            if template_split is not None
+            else None
+        ),
+        unseen_operator=(
+            _score("unseen_operator", operator_split[2], operator_split[0],
+                   operator_split[1], config)
+            if operator_split is not None
+            else None
+        ),
+    )
+
+
+def evaluate_cross_engine(
+    samples: Sequence[PlanSample],
+    config: Optional[QPPNetConfig] = None,
+    seed: int = 0,
+    test_fraction: float = 0.3,
+    n_calibration_buckets: int = 3,
+) -> CrossEngineReport:
+    """The full suite over a mixed-engine corpus.
+
+    ``samples`` are labelled :class:`PlanSample`\\ s whose ``workload``
+    field names the source engine (the shape
+    :func:`repro.ingest.as_samples` produces); one model is trained and
+    scored per engine — vocabularies and stat schemas differ, and the
+    point of the suite is the per-engine comparison, not a pooled fit.
+    """
+    by_engine: dict[str, list[PlanSample]] = {}
+    for sample in samples:
+        by_engine.setdefault(sample.workload, []).append(sample)
+    if not by_engine:
+        raise ValueError("no samples to evaluate")
+    return CrossEngineReport(
+        engines={
+            engine: evaluate_engine(
+                engine_samples,
+                engine,
+                config=config,
+                seed=seed,
+                test_fraction=test_fraction,
+                n_calibration_buckets=n_calibration_buckets,
+            )
+            for engine, engine_samples in sorted(by_engine.items())
+        }
+    )

@@ -1,0 +1,186 @@
+"""DuckDB ``EXPLAIN ANALYZE`` (JSON profiling output) parser.
+
+A structurally different dialect from PostgreSQL on every axis the
+ingest layer has to absorb:
+
+* **Shape** — nodes are ``{"name"|"operator_type": ..., "children":
+  [...]}`` with an optional ``{"name": "Query", "result": <seconds>,
+  "children": [root]}`` wrapper (both the classic profiling spelling
+  ``name``/``timing``/``cardinality`` and the newer
+  ``operator_type``/``operator_timing``/``operator_cardinality`` keys
+  are accepted).
+* **Timings** — ``operator_timing`` is the operator's *exclusive* time
+  in **seconds**; the model's label is inclusive milliseconds, so a
+  bottom-up pass folds each subtree: ``inclusive_ms = 1000 * timing +
+  sum(child inclusive_ms)``.
+* **No cost model** — DuckDB prints no planner costs; ``Estimated
+  Cardinality`` from ``extra_info`` becomes ``Plan Rows`` and the stat
+  adapter synthesizes a cumulative ``Total Cost`` bottom-up.
+* **Pipeline operators** — ``PROJECTION`` / ``FILTER`` /
+  ``RESULT_COLLECTOR`` are unary pass-throughs mapped to Materialize;
+  genuinely novel operators (window functions, CTEs) hit the
+  unknown-operator contract of :mod:`repro.ingest.vocab`.
+
+``extra_info`` is kept verbatim under ``"Extra Info"`` and mined for
+the closed schema: ``Table`` -> ``Relation Name``, ``Estimated
+Cardinality`` -> ``Plan Rows``, ``Order By`` -> ``Sort Key``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional, Union
+
+from repro.plans.node import PlanNode
+
+from .errors import DialectError
+from .record import IngestedPlan
+from .stats import apply_stat_defaults
+from .vocab import (
+    DUCKDB_VOCABULARY,
+    SOURCE_ENGINE_PROP,
+    OnUnknown,
+    ResolvedOp,
+    fit_arity,
+)
+
+ENGINE = "duckdb"
+
+#: Wrapper names that mean "the query itself", not an operator.
+_QUERY_WRAPPERS = {"Query", "QUERY", "query"}
+
+
+def _name_of(raw: dict[str, Any]) -> Optional[str]:
+    name = raw.get("operator_type", raw.get("name"))
+    return str(name) if name is not None else None
+
+
+def _extra_info(raw: dict[str, Any]) -> dict[str, Any]:
+    """Normalize ``extra_info`` (dict in new output, string in old)."""
+    info = raw.get("extra_info")
+    if isinstance(info, dict):
+        return dict(info)
+    if isinstance(info, str) and info.strip():
+        # Classic profiling: newline/INFOSEPARATOR-delimited text; the
+        # first line is the table name for scans.
+        first = info.replace("[INFOSEPARATOR]", "\n").strip().splitlines()[0].strip()
+        return {"Text": info, "Table": first} if first else {"Text": info}
+    return {}
+
+
+def _parse_node(
+    raw: dict[str, Any], on_unknown: OnUnknown, fallbacks: list[str]
+) -> PlanNode:
+    name = _name_of(raw)
+    if name is None:
+        raise DialectError(ENGINE, "operator node without 'name'/'operator_type'")
+    children = [
+        _parse_node(c, on_unknown, fallbacks) for c in raw.get("children", ())
+    ]
+    resolved = DUCKDB_VOCABULARY.resolve(name, len(children), on_unknown)
+    resolved, children = fit_arity(resolved, children, _make_synthetic)
+    if resolved.fallback:
+        fallbacks.append(name)
+
+    info = _extra_info(raw)
+    props: dict[str, Any] = {}
+    if info:
+        props["Extra Info"] = info
+        table = info.get("Table")
+        if table:
+            props["Relation Name"] = str(table)
+        index = info.get("Index")
+        if index:
+            props["Index Name"] = str(index)
+        estimate = info.get("Estimated Cardinality")
+        if estimate is not None:
+            try:
+                props["Plan Rows"] = float(estimate)
+            except (TypeError, ValueError):
+                pass
+        order_by = info.get("Order By")
+        if order_by:
+            props["Sort Key"] = (
+                ", ".join(str(k) for k in order_by)
+                if isinstance(order_by, (list, tuple))
+                else str(order_by)
+            )
+    props.update(resolved.props)
+    props[SOURCE_ENGINE_PROP] = ENGINE
+    node = PlanNode(resolved.op, props, children)
+
+    cardinality = raw.get("operator_cardinality", raw.get("cardinality"))
+    if cardinality is not None:
+        node.actual_rows = float(cardinality)
+    timing = raw.get("operator_timing", raw.get("timing"))
+    child_ms = sum(
+        c.actual_total_ms for c in children if c.actual_total_ms is not None
+    )
+    if timing is not None:
+        node.actual_total_ms = float(timing) * 1000.0 + child_ms
+    elif children and all(c.actual_total_ms is not None for c in children):
+        node.actual_total_ms = child_ms
+    return node
+
+
+def _make_synthetic(resolved: ResolvedOp, children: list[PlanNode]) -> PlanNode:
+    props = dict(resolved.props)
+    props[SOURCE_ENGINE_PROP] = ENGINE
+    props.setdefault("Join Type", "inner")
+    node = PlanNode(resolved.op, props, children)
+    if all(c.actual_total_ms is not None for c in children):
+        node.actual_total_ms = sum(c.actual_total_ms for c in children)
+    return node
+
+
+def parse_duckdb_explain(
+    document: Union[str, bytes, dict],
+    *,
+    on_unknown: OnUnknown = "fallback",
+    template_id: str = "duckdb-plan",
+    source: Optional[str] = None,
+) -> list[IngestedPlan]:
+    """Parse one DuckDB profiling/EXPLAIN ANALYZE JSON document.
+
+    Returns a single-element list (one document = one query) for
+    symmetry with the PostgreSQL parser.  Raises :class:`DialectError`
+    on non-DuckDB documents; unknown operators follow ``on_unknown``.
+    """
+    if isinstance(document, (str, bytes)):
+        try:
+            document = json.loads(document)
+        except json.JSONDecodeError as exc:
+            raise DialectError(ENGINE, f"not JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise DialectError(ENGINE, f"unsupported document type {type(document).__name__}")
+
+    total_ms: Optional[float] = None
+    root_raw = document
+    name = _name_of(document)
+    if name in _QUERY_WRAPPERS or (name is None and "children" in document):
+        if "result" in document and document["result"] is not None:
+            total_ms = float(document["result"]) * 1000.0
+        children = document.get("children", ())
+        if len(children) != 1:
+            raise DialectError(
+                ENGINE, f"query wrapper must hold exactly 1 root, found {len(children)}"
+            )
+        root_raw = children[0]
+    elif name is None:
+        raise DialectError(ENGINE, "not a DuckDB profiling document")
+
+    fallbacks: list[str] = []
+    root = _parse_node(root_raw, on_unknown, fallbacks)
+    apply_stat_defaults(root)
+    if total_ms is None:
+        total_ms = root.actual_total_ms
+    return [
+        IngestedPlan(
+            plan=root,
+            engine=ENGINE,
+            template_id=template_id,
+            latency_ms=total_ms,
+            fallback_ops=tuple(fallbacks),
+            source=source,
+        )
+    ]

@@ -1,0 +1,199 @@
+"""MySQL ``EXPLAIN FORMAT=JSON`` parser.
+
+The most structurally alien dialect: MySQL's document is not an
+operator tree but a nest of *semantic wrapper keys* —
+``query_block`` holds at most one of ``ordering_operation`` /
+``grouping_operation`` / ``duplicates_removal`` / ``nested_loop`` /
+``table``, each wrapping the next — which this parser re-shapes into
+the model's operator tree:
+
+* ``ordering_operation`` -> Sort (``external merge`` when
+  ``using_filesort``);
+* ``grouping_operation`` -> Aggregate (``sorted`` under filesort,
+  ``hashed`` under a temporary table, else ``plain``);
+* ``duplicates_removal`` -> Aggregate (hashed);
+* ``nested_loop: [t1, t2, ..., tn]`` -> a **left-deep chain** of
+  Nested Loop joins over the per-table access terms (MySQL's join
+  order is the array order);
+* ``table`` -> a scan leaf: ``access_type: "ALL"`` is a Seq Scan,
+  every indexed access type (``index``/``range``/``ref``/``eq_ref``/
+  ``const``) an Index Scan on ``key``.
+
+Costs come from ``cost_info`` — ``prefix_cost`` is already cumulative
+along the join prefix, and the root inherits ``query_cost`` — so the
+cumulative-cost invariant holds with engine-native numbers.  MySQL's
+JSON EXPLAIN carries **no actuals**: ingested plans are serve-only
+(``latency_ms`` is None; :func:`repro.ingest.as_samples` rejects them
+for training unless labels are waived).  Unknown wrapper keys follow
+the standard unknown-operator contract, wrapping their inner block as
+a unary fallback.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional, Union
+
+from repro.plans.node import PlanNode
+
+from .errors import DialectError
+from .record import IngestedPlan
+from .stats import apply_stat_defaults
+from .vocab import MYSQL_VOCABULARY, SOURCE_ENGINE_PROP, OnUnknown, fit_arity
+
+ENGINE = "mysql"
+
+#: Wrapper keys recognized as structure, in outermost-first precedence.
+_WRAPPERS = ("ordering_operation", "grouping_operation", "duplicates_removal")
+
+#: Keys that indicate a block is (or contains) parseable structure.
+_STRUCTURE_KEYS = _WRAPPERS + ("nested_loop", "table", "query_block")
+
+
+def _cost(info: Optional[dict[str, Any]], key: str) -> Optional[float]:
+    if not isinstance(info, dict):
+        return None
+    value = info.get(key)
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def _scan_node(term: dict[str, Any], on_unknown: OnUnknown, fallbacks: list[str]) -> PlanNode:
+    access = str(term.get("access_type", "ALL"))
+    resolved = MYSQL_VOCABULARY.resolve(access, 0, on_unknown)
+    if resolved.fallback:
+        fallbacks.append(access)
+    props: dict[str, Any] = {k: v for k, v in term.items() if k != "cost_info"}
+    props.update(resolved.props)
+    props[SOURCE_ENGINE_PROP] = ENGINE
+    if "table_name" in term:
+        props["Relation Name"] = str(term["table_name"])
+    if term.get("key"):
+        props["Index Name"] = str(term["key"])
+    props.setdefault("Scan Direction", "Forward")
+    rows = term.get("rows_examined_per_scan", term.get("rows_produced_per_join"))
+    if rows is not None:
+        props["Plan Rows"] = float(rows)
+    # A scan's own cost is read+eval; prefix_cost is cumulative over the
+    # join prefix and belongs to the enclosing join node.
+    read = _cost(term.get("cost_info"), "read_cost")
+    eval_cost = _cost(term.get("cost_info"), "eval_cost")
+    if read is not None or eval_cost is not None:
+        props["Total Cost"] = (read or 0.0) + (eval_cost or 0.0)
+    else:
+        prefix = _cost(term.get("cost_info"), "prefix_cost")
+        if prefix is not None:
+            props["Total Cost"] = prefix
+    return PlanNode(resolved.op, props, [])
+
+
+def _parse_block(
+    block: dict[str, Any], on_unknown: OnUnknown, fallbacks: list[str]
+) -> PlanNode:
+    if "query_block" in block:
+        inner = _parse_block(block["query_block"], on_unknown, fallbacks)
+        query_cost = _cost(block["query_block"].get("cost_info"), "query_cost")
+        if query_cost is not None and "Total Cost" not in inner.props:
+            inner.props["Total Cost"] = query_cost
+        return inner
+
+    for wrapper in _WRAPPERS:
+        if wrapper in block:
+            inner_block = block[wrapper]
+            if not isinstance(inner_block, dict):
+                raise DialectError(ENGINE, f"{wrapper!r} is not an object")
+            child = _parse_block(inner_block, on_unknown, fallbacks)
+            resolved = MYSQL_VOCABULARY.resolve(wrapper, 1, on_unknown)
+            if resolved.fallback:
+                fallbacks.append(wrapper)
+            props = dict(resolved.props)
+            props[SOURCE_ENGINE_PROP] = ENGINE
+            if wrapper == "ordering_operation" and inner_block.get("using_filesort"):
+                props["Sort Method"] = "external merge"
+            if wrapper == "grouping_operation":
+                if inner_block.get("using_filesort"):
+                    props.setdefault("Strategy", "sorted")
+                elif inner_block.get("using_temporary_table"):
+                    props.setdefault("Strategy", "hashed")
+            return PlanNode(resolved.op, props, [child])
+
+    if "nested_loop" in block:
+        terms = block["nested_loop"]
+        if not isinstance(terms, list) or len(terms) < 2:
+            raise DialectError(ENGINE, "'nested_loop' must be a list of >= 2 terms")
+        scans: list[PlanNode] = []
+        prefix_costs: list[Optional[float]] = []
+        for term in terms:
+            if not isinstance(term, dict) or "table" not in term:
+                raise DialectError(ENGINE, "'nested_loop' term without 'table'")
+            scans.append(_scan_node(term["table"], on_unknown, fallbacks))
+            prefix_costs.append(_cost(term["table"].get("cost_info"), "prefix_cost"))
+        left = scans[0]
+        for i in range(1, len(scans)):
+            props: dict[str, Any] = {
+                "Join Type": "inner",
+                SOURCE_ENGINE_PROP: ENGINE,
+            }
+            # prefix_cost is cumulative over the join prefix: it is the
+            # *join node's* cost, not the inner scan's.
+            if prefix_costs[i] is not None:
+                props["Total Cost"] = prefix_costs[i]
+            left = PlanNode(
+                MYSQL_VOCABULARY.resolve("nested_loop", 2, on_unknown).op,
+                props,
+                [left, scans[i]],
+            )
+        return left
+
+    if "table" in block:
+        return _scan_node(block["table"], on_unknown, fallbacks)
+
+    # Unknown wrapper: find a nested block that contains structure and
+    # treat the wrapper as a unary operator under the standard contract.
+    for key, value in block.items():
+        if isinstance(value, dict) and any(k in value for k in _STRUCTURE_KEYS):
+            child = _parse_block(value, on_unknown, fallbacks)
+            resolved = MYSQL_VOCABULARY.resolve(key, 1, on_unknown)
+            resolved, children = fit_arity(
+                resolved, [child], lambda r, c: PlanNode(r.op, dict(r.props), c)
+            )
+            if resolved.fallback:
+                fallbacks.append(key)
+            props = dict(resolved.props)
+            props[SOURCE_ENGINE_PROP] = ENGINE
+            return PlanNode(resolved.op, props, children)
+    raise DialectError(ENGINE, f"no parseable structure in block (keys: {sorted(block)})")
+
+
+def parse_mysql_explain(
+    document: Union[str, bytes, dict],
+    *,
+    on_unknown: OnUnknown = "fallback",
+    template_id: str = "mysql-plan",
+    source: Optional[str] = None,
+) -> list[IngestedPlan]:
+    """Parse one ``EXPLAIN FORMAT=JSON`` document (serve-only: no labels)."""
+    if isinstance(document, (str, bytes)):
+        try:
+            document = json.loads(document)
+        except json.JSONDecodeError as exc:
+            raise DialectError(ENGINE, f"not JSON: {exc}") from exc
+    if not isinstance(document, dict) or "query_block" not in document:
+        raise DialectError(ENGINE, "expected a {'query_block': ...} document")
+    fallbacks: list[str] = []
+    root = _parse_block(document, on_unknown, fallbacks)
+    apply_stat_defaults(root)
+    return [
+        IngestedPlan(
+            plan=root,
+            engine=ENGINE,
+            template_id=template_id,
+            latency_ms=None,
+            fallback_ops=tuple(fallbacks),
+            source=source,
+        )
+    ]

@@ -1,0 +1,193 @@
+"""PostgreSQL ``EXPLAIN (ANALYZE, FORMAT JSON)`` parser — the reference
+dialect.
+
+Accepts the exact artifact ``psql`` hands back: a JSON array of
+statement objects (``[{"Plan": {...}, "Execution Time": ..., ...}]``),
+a single statement object, or a bare plan-node object.  Dialect
+normalizations applied per node, beyond the vocabulary mapping
+(:data:`repro.ingest.vocab.POSTGRES_VOCABULARY`):
+
+* **Loop-scaled actuals** — PostgreSQL reports ``Actual Total Time``
+  and ``Actual Rows`` *per loop*; both are multiplied by ``Actual
+  Loops`` so ``actual_total_ms`` is the operator's inclusive wall-clock
+  contribution, the label the model trains on.
+* **Bitmap absorption** — a ``Bitmap Heap Scan`` whose only child is a
+  ``Bitmap Index Scan`` collapses into one ``Index Scan`` node (taking
+  the child's ``Index Name``): the pair is one logical index access,
+  and the closed taxonomy's scans are leaves.
+* **Enum-case normalization** — ``Join Type`` / ``Strategy`` /
+  ``Parent Relationship`` values are lowercased onto the model's
+  closed vocabularies (``Simple``/``Partial``/``Finalize`` partial
+  modes become the boolean Table 2 expects; sort-key lists join into
+  one learned-vocabulary string).
+
+Everything else in the raw node — filters, buffer counters, worker
+counts — rides along in ``props`` untouched: schema-driven
+featurization ignores unknown properties, and the stat adapter
+(:mod:`repro.ingest.stats`) derives ``Plan Buffers``/``Estimated
+I/Os`` from the BUFFERS counters when present.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional, Union
+
+from repro.plans.node import PlanNode
+
+from .errors import DialectError
+from .record import IngestedPlan
+from .stats import apply_stat_defaults
+from .vocab import (
+    POSTGRES_VOCABULARY,
+    SOURCE_ENGINE_PROP,
+    OnUnknown,
+    ResolvedOp,
+    fit_arity,
+)
+
+ENGINE = "postgres"
+
+#: Raw-node keys that become structure/labels, never props.
+_CONSUMED_KEYS = ("Node Type", "Plans", "Actual Total Time", "Actual Rows")
+
+#: ``Parent Relationship`` normalization onto the closed vocabulary.
+_PARENT_RELATIONSHIP = {
+    "inner": "inner",
+    "outer": "outer",
+    "subplan": "subquery",
+    "initplan": "subquery",
+    "subquery": "subquery",
+}
+
+
+def _normalize_props(props: dict[str, Any]) -> None:
+    join_type = props.get("Join Type")
+    if isinstance(join_type, str):
+        props["Join Type"] = join_type.lower()
+    strategy = props.get("Strategy")
+    if isinstance(strategy, str):
+        props["Strategy"] = strategy.lower()
+    partial = props.get("Partial Mode")
+    if isinstance(partial, str):
+        props["Partial Mode"] = partial.lower() not in ("simple", "")
+    rel = props.get("Parent Relationship")
+    if isinstance(rel, str):
+        props["Parent Relationship"] = _PARENT_RELATIONSHIP.get(rel.lower(), rel.lower())
+    sort_key = props.get("Sort Key")
+    if isinstance(sort_key, (list, tuple)):
+        props["Sort Key"] = ", ".join(str(k) for k in sort_key)
+
+
+def _parse_node(
+    raw: dict[str, Any], on_unknown: OnUnknown, fallbacks: list[str]
+) -> PlanNode:
+    if "Node Type" not in raw:
+        raise DialectError(ENGINE, "plan node without 'Node Type'")
+    name = raw["Node Type"]
+    children_raw = raw.get("Plans", ())
+
+    # Bitmap absorption: one logical index access, one scan leaf.
+    if (
+        name == "Bitmap Heap Scan"
+        and len(children_raw) == 1
+        and children_raw[0].get("Node Type") == "Bitmap Index Scan"
+    ):
+        inner = children_raw[0]
+        raw = dict(raw)
+        raw.setdefault("Index Name", inner.get("Index Name", "<unknown>"))
+        if "Index Cond" in inner:
+            raw.setdefault("Index Cond", inner["Index Cond"])
+        children_raw = ()
+
+    children = [_parse_node(c, on_unknown, fallbacks) for c in children_raw]
+    resolved = POSTGRES_VOCABULARY.resolve(name, len(children), on_unknown)
+    resolved, children = fit_arity(resolved, children, _make_synthetic)
+    if resolved.fallback:
+        fallbacks.append(name)
+
+    props = {k: v for k, v in raw.items() if k not in _CONSUMED_KEYS}
+    props.update(resolved.props)
+    props[SOURCE_ENGINE_PROP] = ENGINE
+    _normalize_props(props)
+    node = PlanNode(resolved.op, props, children)
+
+    loops = float(raw.get("Actual Loops", 1) or 1)
+    if "Actual Total Time" in raw:
+        node.actual_total_ms = float(raw["Actual Total Time"]) * loops
+    if "Actual Rows" in raw:
+        node.actual_rows = float(raw["Actual Rows"]) * loops
+    return node
+
+
+def _make_synthetic(resolved: ResolvedOp, children: list[PlanNode]) -> PlanNode:
+    """Interior node for left-deep binarization of n-ary raw nodes."""
+    props = dict(resolved.props)
+    props[SOURCE_ENGINE_PROP] = ENGINE
+    props.setdefault("Join Type", "inner")
+    return PlanNode(resolved.op, props, children)
+
+
+def parse_postgres_explain(
+    document: Union[str, bytes, dict, list],
+    *,
+    on_unknown: OnUnknown = "fallback",
+    template_id: str = "postgres-plan",
+    source: Optional[str] = None,
+) -> list[IngestedPlan]:
+    """Parse one EXPLAIN (FORMAT JSON) document into ingested plans.
+
+    Returns one :class:`IngestedPlan` per statement in the document.
+    Raises :class:`DialectError` on documents that are not PostgreSQL
+    EXPLAIN JSON, and :class:`UnknownOperatorError` for unmapped
+    operators under ``on_unknown="raise"``.  Statistics defaults are
+    applied (:func:`repro.ingest.stats.apply_stat_defaults`); validation
+    is the caller's step (see :func:`repro.ingest.parse`).
+    """
+    if isinstance(document, (str, bytes)):
+        try:
+            document = json.loads(document)
+        except json.JSONDecodeError as exc:
+            raise DialectError(ENGINE, f"not JSON: {exc}") from exc
+    if isinstance(document, dict):
+        statements = [document if "Plan" in document else {"Plan": document}]
+    elif isinstance(document, list):
+        statements = []
+        for entry in document:
+            if not isinstance(entry, dict) or "Plan" not in entry:
+                raise DialectError(
+                    ENGINE, "expected a list of {'Plan': ...} statement objects"
+                )
+            statements.append(entry)
+    else:
+        raise DialectError(ENGINE, f"unsupported document type {type(document).__name__}")
+    if not statements:
+        raise DialectError(ENGINE, "document contains no statements")
+
+    plans: list[IngestedPlan] = []
+    for i, statement in enumerate(statements):
+        if not isinstance(statement["Plan"], dict):
+            raise DialectError(ENGINE, "'Plan' is not a plan-node object")
+        fallbacks: list[str] = []
+        root = _parse_node(statement["Plan"], on_unknown, fallbacks)
+        apply_stat_defaults(root)
+        latency = statement.get("Execution Time")
+        if latency is None:
+            latency = root.actual_total_ms
+        suffix = f"#{i}" if len(statements) > 1 else ""
+        plans.append(
+            IngestedPlan(
+                plan=root,
+                engine=ENGINE,
+                template_id=template_id + suffix,
+                latency_ms=float(latency) if latency is not None else None,
+                fallback_ops=tuple(fallbacks),
+                source=source,
+                planning_ms=(
+                    float(statement["Planning Time"])
+                    if "Planning Time" in statement
+                    else None
+                ),
+            )
+        )
+    return plans

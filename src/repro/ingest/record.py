@@ -1,0 +1,65 @@
+"""The ingestion result record shared by every dialect parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.plans.node import PlanNode
+from repro.workload.generator import PlanSample
+
+
+@dataclass
+class IngestedPlan:
+    """One real-engine plan, mapped into the model's plan substrate.
+
+    ``latency_ms`` is the query's end-to-end latency label (PostgreSQL's
+    ``Execution Time``, DuckDB's collector timing, or the root
+    operator's inclusive actual); ``None`` for plan-only dialects
+    (MySQL ``EXPLAIN FORMAT=JSON`` carries no actuals) — such plans can
+    be served for *prediction* but are rejected by :func:`as_samples`
+    for training.  ``fallback_ops`` lists the raw engine operator names
+    that degraded to arity-matched fallback operators (empty means the
+    whole tree mapped onto the closed taxonomy exactly).
+    """
+
+    plan: PlanNode
+    engine: str
+    template_id: str
+    latency_ms: Optional[float] = None
+    fallback_ops: tuple[str, ...] = ()
+    source: Optional[str] = None
+    planning_ms: Optional[float] = None
+
+    @property
+    def analyzed(self) -> bool:
+        """True when the plan carries a latency label (EXPLAIN ANALYZE)."""
+        return self.latency_ms is not None
+
+    def to_sample(self) -> PlanSample:
+        """As a training/evaluation :class:`PlanSample` (workload = engine)."""
+        if self.latency_ms is None:
+            raise ValueError(
+                f"{self.engine} plan {self.template_id!r} has no latency label "
+                "(EXPLAIN without ANALYZE); it can be served but not trained on"
+            )
+        return PlanSample(
+            plan=self.plan,
+            latency_ms=self.latency_ms,
+            template_id=self.template_id,
+            workload=self.engine,
+        )
+
+
+def as_samples(
+    plans: Sequence[IngestedPlan], require_labels: bool = True
+) -> list[PlanSample]:
+    """Convert ingested plans to :class:`PlanSample`\\ s.
+
+    With ``require_labels`` (default) an unlabelled plan raises the
+    typed ``ValueError`` from :meth:`IngestedPlan.to_sample`; otherwise
+    unlabelled plans are silently skipped (serve-only corpora).
+    """
+    if require_labels:
+        return [p.to_sample() for p in plans]
+    return [p.to_sample() for p in plans if p.analyzed]

@@ -1,0 +1,154 @@
+"""Stat-schema adapters: engine property sets -> the model's Table-2 set.
+
+The featurizer and :func:`repro.plans.validate.validate_plan` assume the
+synthetic planner's property schema: the five universal numerics
+(``Plan Rows``, ``Plan Width``, ``Total Cost``, ``Plan Buffers``,
+``Estimated I/Os``) on every node plus per-operator requirements
+(``Relation Name`` on scans, ``Sort Method`` on sorts, ...).  Real
+engines ship different subsets — PostgreSQL has no ``Plan Buffers`` or
+``Estimated I/Os`` estimate columns, DuckDB has no planner costs at
+all, MySQL has costs but no widths.  This module closes the gap with
+*documented defaults* instead of per-engine special cases sprinkled
+through featurization.
+
+The missing-stat contract
+-------------------------
+:func:`apply_stat_defaults` walks an ingested tree once and guarantees,
+in order, per node:
+
+1. **Derivations** (engine signal reshaped, never invented):
+   ``Plan Buffers`` from PostgreSQL's BUFFERS counters (shared/local/
+   temp hit+read blocks) when present; ``Estimated I/Os`` from the
+   read-block counters when present.
+2. **Constant defaults** (:data:`UNIVERSAL_DEFAULTS` /
+   :data:`REQUIRED_DEFAULTS`) for whatever is still missing.  The
+   defaults are deliberately *neutral*: zeros for the whitened
+   numerics (whitening maps them to the training-set mean's
+   neighbourhood rather than an outlier), vocabulary members for the
+   closed one-hots (``quicksort``, ``inner``, ``in-memory``...), and
+   the sentinel ``"<unknown>"`` for learned one-hots, which encodes as
+   the all-zeros vector unless the training corpus itself contained
+   the sentinel.
+3. **Cumulative-cost repair**: engines without a cost column (DuckDB)
+   get a synthetic bottom-up cost (own row estimate plus children's
+   costs) and engines whose costs are not cumulative get bumped to
+   ``max(own, max(child))`` — so :func:`validate_plan`'s monotonicity
+   invariant holds for every ingested tree by construction.
+
+The walk only ever *adds* properties; engine-native values win over
+every default, and unknown extra properties ride along untouched
+(schema-driven featurization ignores them).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.plans.node import PlanNode
+from repro.plans.operators import PhysicalOp
+from repro.plans.validate import REQUIRED_BY_OP
+
+#: Defaults for the universal numeric properties (Table 2 "All" rows).
+#: ``Total Cost`` is absent on purpose: costs are synthesized bottom-up
+#: by :func:`ensure_cumulative_costs` so they stay monotone.
+UNIVERSAL_DEFAULTS: dict[str, float] = {
+    "Plan Rows": 1.0,
+    "Plan Width": 8.0,
+    "Plan Buffers": 0.0,
+    "Estimated I/Os": 0.0,
+}
+
+#: Defaults for per-operator required properties.  Closed-vocabulary
+#: one-hots default to their most common member; learned one-hots to
+#: the ``"<unknown>"`` sentinel (all-zeros at transform time).
+REQUIRED_DEFAULTS: dict[str, Any] = {
+    "Relation Name": "<unknown>",
+    "Index Name": "<unknown>",
+    "Scan Direction": "Forward",
+    "Join Type": "inner",
+    "Sort Key": "<unknown>",
+    "Sort Method": "quicksort",
+    "Hash Buckets": 1024.0,
+    "Hash Algorithm": "in-memory",
+    "Strategy": "plain",
+    "Partial Mode": False,
+    "Operator": "count",
+}
+
+#: PostgreSQL BUFFERS counters that sum into ``Plan Buffers``.
+_BUFFER_COUNTERS = (
+    "Shared Hit Blocks",
+    "Shared Read Blocks",
+    "Local Hit Blocks",
+    "Local Read Blocks",
+    "Temp Read Blocks",
+    "Temp Written Blocks",
+)
+
+#: Read-side counters that sum into ``Estimated I/Os``.
+_IO_COUNTERS = ("Shared Read Blocks", "Local Read Blocks", "Temp Read Blocks")
+
+
+def _derive_buffers(props: dict[str, Any]) -> None:
+    counters = [props[key] for key in _BUFFER_COUNTERS if key in props]
+    if "Plan Buffers" not in props and counters:
+        props["Plan Buffers"] = float(sum(counters))
+    io_counters = [props[key] for key in _IO_COUNTERS if key in props]
+    if "Estimated I/Os" not in props and io_counters:
+        props["Estimated I/Os"] = float(sum(io_counters))
+
+
+def apply_stat_defaults(root: PlanNode) -> PlanNode:
+    """Fill missing properties per the missing-stat contract (in place).
+
+    Returns ``root`` so ingestion pipelines can chain it.
+    """
+    for node in root.preorder():
+        props = node.props
+        _derive_buffers(props)
+        for key, default in UNIVERSAL_DEFAULTS.items():
+            if key not in props:
+                props[key] = default
+        for key in REQUIRED_BY_OP.get(node.op, ()):
+            if key not in props:
+                props[key] = REQUIRED_DEFAULTS[key]
+    ensure_cumulative_costs(root)
+    return root
+
+
+def ensure_cumulative_costs(root: PlanNode) -> PlanNode:
+    """Make ``Total Cost`` present and cumulative on every node (in place).
+
+    One bottom-up pass: a node missing a cost gets its own row estimate
+    plus its children's (already-repaired) costs — the cheapest
+    defensible stand-in for engines without a cost model; a node whose
+    engine-native cost sits below a child's is bumped to the child's
+    (real engines *are* cumulative, so this only fires on degenerate or
+    hand-edited documents).  ``Startup Cost`` defaults to 0.
+    """
+    for node in root.postorder():
+        props = node.props
+        child_max = max(
+            (float(c.props["Total Cost"]) for c in node.children), default=0.0
+        )
+        if "Total Cost" not in props:
+            props["Total Cost"] = float(max(props.get("Plan Rows", 1.0), 0.0)) + sum(
+                float(c.props["Total Cost"]) for c in node.children
+            )
+        elif float(props["Total Cost"]) < child_max:
+            props["Total Cost"] = child_max
+        props.setdefault("Startup Cost", 0.0)
+    return root
+
+
+def scan_defaults_for(op: PhysicalOp) -> dict[str, Any]:
+    """The default property set an ``op`` needs to pass validation.
+
+    Introspection helper for tests and vocabulary authors: universal
+    defaults plus the operator's required-property defaults (costs
+    excluded — those are synthesized cumulatively).
+    """
+    out: dict[str, Any] = dict(UNIVERSAL_DEFAULTS)
+    for key in REQUIRED_BY_OP.get(op, ()):
+        out[key] = REQUIRED_DEFAULTS[key]
+    return out

@@ -1,0 +1,289 @@
+"""Per-engine operator vocabularies: engine names -> model operators.
+
+Every execution engine prints its own operator vocabulary — PostgreSQL
+says ``Hash Join``, DuckDB says ``HASH_JOIN``, MySQL buries joins in a
+``nested_loop`` array — while the model's unit registry speaks
+:class:`~repro.plans.operators.PhysicalOp` / ``LogicalType``.  An
+:class:`OperatorVocabulary` is the typed bridge: a per-engine mapping
+from raw operator names to :class:`OperatorRule`\\ s (target physical
+operator plus any props the mapping itself implies, e.g. DuckDB's
+``HASH_GROUP_BY`` is an Aggregate *with* ``Strategy: hashed``).
+
+The unknown-operator contract
+-----------------------------
+Real plans always contain operators the vocabulary has never seen
+(window functions, CTE scans, parallel-exchange operators...).  The
+failure mode this module exists to kill is the untyped ``KeyError``
+deep inside featurization.  Resolution is explicit, caller's choice:
+
+* ``on_unknown="raise"`` — strict: a typed
+  :class:`~repro.ingest.errors.UnknownOperatorError` at the ingest
+  boundary, carrying engine, name and arity.
+* ``on_unknown="fallback"`` (default) — degrade: the node maps to the
+  *arity-matched neutral operator* (:data:`FALLBACK_BY_ARITY` — a scan
+  for leaves, a materialize pass-through for unary nodes, a
+  nested-loop join for binary nodes), the raw engine name is preserved
+  in the node's :data:`UNKNOWN_OP_PROP` property, and
+  :class:`ResolvedOp.fallback` is True so callers can count/report
+  degradations.  Nodes with three or more children are binarized into
+  a left-deep chain of fallback joins by the dialect parsers (see
+  :func:`fit_arity`).
+
+Either way the result is a valid member of the closed operator
+taxonomy, so everything downstream — ``plans.validate``, the
+featurizer, training, serving — runs unmodified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Literal, Mapping, Optional
+
+from repro.plans.operators import PhysicalOp, arity_of, logical_type_of
+
+from .errors import DialectError, UnknownOperatorError
+
+#: Property recording the raw engine operator name on degraded nodes.
+#: Schema-driven featurization ignores unknown properties, so this rides
+#: along as provenance without perturbing any feature vector.
+UNKNOWN_OP_PROP = "Unknown Operator"
+
+#: Property recording the source engine on every ingested node (set by
+#: the dialect parsers; provenance only, never featurized).
+SOURCE_ENGINE_PROP = "Source Engine"
+
+#: Neutral operator per child count for degraded unknown operators.
+#: Leaves become scans (the only 0-ary unit family), unary nodes become
+#: materialize pass-throughs (no operator-specific required props), and
+#: binary nodes become nested-loop joins.  Arity >= 3 is handled by
+#: left-deep binarization in :func:`fit_arity`, not by this table.
+FALLBACK_BY_ARITY: dict[int, PhysicalOp] = {
+    0: PhysicalOp.SEQ_SCAN,
+    1: PhysicalOp.MATERIALIZE,
+    2: PhysicalOp.NESTED_LOOP,
+}
+
+OnUnknown = Literal["raise", "fallback"]
+
+
+@dataclass(frozen=True)
+class OperatorRule:
+    """Mapping target for one engine operator name.
+
+    ``props`` are properties implied by the mapping itself (DuckDB's
+    ``HASH_GROUP_BY`` implies ``Strategy: hashed``); they are merged
+    under any properties the raw node already carries.
+    """
+
+    op: PhysicalOp
+    props: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ResolvedOp:
+    """One resolved operator: the model op, implied props, provenance."""
+
+    op: PhysicalOp
+    props: Mapping[str, Any]
+    source_name: str
+    fallback: bool = False
+
+
+class OperatorVocabulary:
+    """The operator-name mapping of one engine dialect."""
+
+    def __init__(self, engine: str, rules: Mapping[str, OperatorRule | PhysicalOp]) -> None:
+        self.engine = engine
+        self._rules: dict[str, OperatorRule] = {
+            name: (rule if isinstance(rule, OperatorRule) else OperatorRule(rule))
+            for name, rule in rules.items()
+        }
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._rules
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._rules))
+
+    def resolve(
+        self,
+        name: str,
+        n_children: int = 0,
+        on_unknown: OnUnknown = "fallback",
+    ) -> ResolvedOp:
+        """Map one raw operator name (see module docstring for the
+        unknown-operator contract)."""
+        rule = self._rules.get(name)
+        if rule is not None:
+            return ResolvedOp(rule.op, rule.props, name)
+        if on_unknown == "raise":
+            raise UnknownOperatorError(self.engine, name, n_children, self.names())
+        fallback = FALLBACK_BY_ARITY.get(min(n_children, 2), PhysicalOp.NESTED_LOOP)
+        return ResolvedOp(fallback, {UNKNOWN_OP_PROP: name}, name, fallback=True)
+
+
+def fit_arity(
+    resolved: ResolvedOp,
+    children: list,
+    make_node,
+) -> tuple[ResolvedOp, list]:
+    """Reconcile a resolved operator with the child list it arrived with.
+
+    The model's logical types have fixed arity (a unit's input width
+    depends on it), while engine nodes do not: DuckDB hangs children off
+    ``RESULT_COLLECTOR`` wrappers, MySQL's ``nested_loop`` is n-ary.
+    Contract, in order:
+
+    * arity already matches -> unchanged;
+    * more than two children -> left-deep binarization into fallback
+      joins (``make_node(resolved_op, props, children) -> node`` builds
+      the synthetic interior nodes), then the (now binary) node is
+      reconciled again;
+    * otherwise -> the node degrades to the arity-matched fallback
+      operator, keeping its props plus :data:`UNKNOWN_OP_PROP` set to
+      the raw source name (the operator *identity* was right, its shape
+      was not — same degrade-not-crash contract as unknown names).
+    """
+    expected = arity_of(logical_type_of(resolved.op))
+    n = len(children)
+    if n == expected:
+        return resolved, children
+    if n > 2:
+        join = FALLBACK_BY_ARITY[2]
+        left = children[0]
+        for child in children[1:-1]:
+            left = make_node(
+                ResolvedOp(join, {UNKNOWN_OP_PROP: resolved.source_name},
+                           resolved.source_name, fallback=True),
+                [left, child],
+            )
+        children = [left, children[-1]]
+        n = 2
+        if expected == 2:
+            return resolved, children
+    fallback = FALLBACK_BY_ARITY[n]
+    props = dict(resolved.props)
+    props.setdefault(UNKNOWN_OP_PROP, resolved.source_name)
+    return ResolvedOp(fallback, props, resolved.source_name, fallback=True), children
+
+
+# ----------------------------------------------------------------------
+# Engine vocabularies
+# ----------------------------------------------------------------------
+
+#: PostgreSQL ``EXPLAIN (FORMAT JSON)`` node types.  The reference
+#: dialect: the model's own operator names *are* PostgreSQL's, so the
+#: core ten map 1:1; the rest are the common real-plan node types that
+#: the closed taxonomy approximates (parallel exchanges and plain
+#: sub-plan wrappers behave like materialize pass-throughs; bitmap heap
+#: scans are index scans — the parser additionally absorbs their
+#: ``Bitmap Index Scan`` child, see :mod:`repro.ingest.postgres`).
+POSTGRES_VOCABULARY = OperatorVocabulary(
+    "postgres",
+    {
+        "Seq Scan": PhysicalOp.SEQ_SCAN,
+        "Index Scan": PhysicalOp.INDEX_SCAN,
+        "Index Only Scan": OperatorRule(PhysicalOp.INDEX_SCAN),
+        "Bitmap Heap Scan": OperatorRule(PhysicalOp.INDEX_SCAN),
+        "Sort": PhysicalOp.SORT,
+        "Incremental Sort": OperatorRule(PhysicalOp.SORT),
+        "Hash": PhysicalOp.HASH,
+        "Hash Join": PhysicalOp.HASH_JOIN,
+        "Merge Join": PhysicalOp.MERGE_JOIN,
+        "Nested Loop": PhysicalOp.NESTED_LOOP,
+        "Aggregate": PhysicalOp.AGGREGATE,
+        "GroupAggregate": OperatorRule(PhysicalOp.AGGREGATE, {"Strategy": "sorted"}),
+        "HashAggregate": OperatorRule(PhysicalOp.AGGREGATE, {"Strategy": "hashed"}),
+        "Materialize": PhysicalOp.MATERIALIZE,
+        "Memoize": OperatorRule(PhysicalOp.MATERIALIZE),
+        "Gather": OperatorRule(PhysicalOp.MATERIALIZE),
+        "Gather Merge": OperatorRule(PhysicalOp.MATERIALIZE),
+        "Limit": PhysicalOp.LIMIT,
+    },
+)
+
+#: DuckDB ``EXPLAIN ANALYZE`` (``'json'`` explain output) operator
+#: names.  Structurally a different world: SCREAMING_SNAKE names, no
+#: planner cost model (the stat adapter synthesizes cumulative costs),
+#: exclusive per-operator timings (the parser folds them into the
+#: inclusive labels the model trains on), and pipeline operators
+#: (projection / filter) that the closed taxonomy treats as unary
+#: pass-throughs.
+DUCKDB_VOCABULARY = OperatorVocabulary(
+    "duckdb",
+    {
+        "SEQ_SCAN": PhysicalOp.SEQ_SCAN,
+        "TABLE_SCAN": PhysicalOp.SEQ_SCAN,
+        "INDEX_SCAN": PhysicalOp.INDEX_SCAN,
+        "ORDER_BY": PhysicalOp.SORT,
+        "TOP_N": OperatorRule(PhysicalOp.SORT, {"Sort Method": "top-N heapsort"}),
+        "HASH_JOIN": PhysicalOp.HASH_JOIN,
+        "PIECEWISE_MERGE_JOIN": OperatorRule(PhysicalOp.MERGE_JOIN),
+        "MERGE_JOIN": PhysicalOp.MERGE_JOIN,
+        "NESTED_LOOP_JOIN": PhysicalOp.NESTED_LOOP,
+        "BLOCKWISE_NL_JOIN": OperatorRule(PhysicalOp.NESTED_LOOP),
+        "CROSS_PRODUCT": OperatorRule(PhysicalOp.NESTED_LOOP),
+        "HASH_GROUP_BY": OperatorRule(PhysicalOp.AGGREGATE, {"Strategy": "hashed"}),
+        "PERFECT_HASH_GROUP_BY": OperatorRule(
+            PhysicalOp.AGGREGATE, {"Strategy": "hashed"}
+        ),
+        "UNGROUPED_AGGREGATE": OperatorRule(PhysicalOp.AGGREGATE, {"Strategy": "plain"}),
+        "SIMPLE_AGGREGATE": OperatorRule(PhysicalOp.AGGREGATE, {"Strategy": "plain"}),
+        "PROJECTION": OperatorRule(PhysicalOp.MATERIALIZE),
+        "FILTER": OperatorRule(PhysicalOp.MATERIALIZE),
+        "RESULT_COLLECTOR": OperatorRule(PhysicalOp.MATERIALIZE),
+        "EXPLAIN_ANALYZE": OperatorRule(PhysicalOp.MATERIALIZE),
+        "LIMIT": PhysicalOp.LIMIT,
+        "STREAMING_LIMIT": OperatorRule(PhysicalOp.LIMIT),
+    },
+)
+
+#: MySQL ``EXPLAIN FORMAT=JSON`` "operators".  MySQL's document is not
+#: an operator tree at all — it is a nest of semantic wrapper keys
+#: (``ordering_operation``, ``grouping_operation``, ``nested_loop``,
+#: ``table``) that :mod:`repro.ingest.mysql` re-shapes into a tree; the
+#: vocabulary maps those wrapper keys plus the per-table
+#: ``access_type`` values.
+MYSQL_VOCABULARY = OperatorVocabulary(
+    "mysql",
+    {
+        "ordering_operation": PhysicalOp.SORT,
+        "grouping_operation": PhysicalOp.AGGREGATE,
+        "duplicates_removal": OperatorRule(PhysicalOp.AGGREGATE, {"Strategy": "hashed"}),
+        "nested_loop": PhysicalOp.NESTED_LOOP,
+        "materialized_from_subquery": OperatorRule(PhysicalOp.MATERIALIZE),
+        # access_type values of a ``table`` term:
+        "ALL": PhysicalOp.SEQ_SCAN,
+        "index": OperatorRule(PhysicalOp.INDEX_SCAN),
+        "range": OperatorRule(PhysicalOp.INDEX_SCAN),
+        "ref": OperatorRule(PhysicalOp.INDEX_SCAN),
+        "eq_ref": OperatorRule(PhysicalOp.INDEX_SCAN),
+        "const": OperatorRule(PhysicalOp.INDEX_SCAN),
+    },
+)
+
+#: Engine name -> vocabulary.  Extend with :func:`register_vocabulary`.
+_REGISTRY: dict[str, OperatorVocabulary] = {
+    "postgres": POSTGRES_VOCABULARY,
+    "duckdb": DUCKDB_VOCABULARY,
+    "mysql": MYSQL_VOCABULARY,
+}
+
+
+def register_vocabulary(vocabulary: OperatorVocabulary) -> None:
+    """Register (or replace) the vocabulary for an engine name."""
+    _REGISTRY[vocabulary.engine] = vocabulary
+
+
+def vocabulary_for(engine: str) -> OperatorVocabulary:
+    """The registered vocabulary for ``engine`` (KeyError-free, typed)."""
+    vocab = _REGISTRY.get(engine)
+    if vocab is None:
+        raise DialectError(
+            engine, f"no registered operator vocabulary (known: {sorted(_REGISTRY)})"
+        )
+    return vocab
+
+
+def known_engines() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))

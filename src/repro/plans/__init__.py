@@ -1,4 +1,30 @@
-"""Query execution plan substrate: operators, trees, EXPLAIN, validation."""
+"""Query execution plan substrate: operators, trees, EXPLAIN, validation.
+
+This package is the *closed* plan vocabulary the whole stack speaks:
+:class:`~repro.plans.operators.PhysicalOp` physical operators grouped
+into fixed-arity :class:`~repro.plans.operators.LogicalType` unit
+families (one neural unit each, §4.1), arranged into
+:class:`~repro.plans.node.PlanNode` trees whose property maps are the
+featurizer's raw input (Table 2).  Two front doors produce such trees:
+
+* the **synthetic pipeline** — ``repro.optimizer`` plans queries over
+  ``repro.catalog`` schemas and ``repro.engine`` simulates them; these
+  trees speak the schema natively; and
+* the **real-engine ingestion front-end** (:mod:`repro.ingest`) — a
+  per-engine EXPLAIN parser layer (PostgreSQL JSON as the reference
+  dialect, DuckDB profiling trees, MySQL ``EXPLAIN FORMAT=JSON``) that
+  maps foreign operator vocabularies onto this one (typed
+  unknown-operator fallback, never a ``KeyError``) and adapts foreign
+  stat schemas to the Table-2 property set with documented defaults.
+
+Whichever door a tree came through, the rest of the package treats it
+identically: :func:`~repro.plans.validate.validate_plan` enforces the
+structural invariants (arity, required properties, cumulative costs —
+the same check that guards ``PredictionService.submit``),
+:mod:`~repro.plans.explain` renders/parses the reproduction's own
+``EXPLAIN (FORMAT JSON)`` round-trip format (parse validates by
+default), and :mod:`~repro.plans.dot` draws trees for inspection.
+"""
 
 from .dot import network_to_dot, plan_to_dot
 from .explain import explain_json, explain_text, parse_explain_json

@@ -10,6 +10,7 @@ from __future__ import annotations
 import json
 
 from .node import PlanNode
+from .validate import PlanValidationError, validate_plan
 
 
 def _estimate_clause(node: PlanNode) -> str:
@@ -40,7 +41,9 @@ def _header(node: PlanNode) -> str:
         label = f"{label} ({join_type})"
     strategy = node.props.get("Strategy")
     if strategy and strategy != "plain":
-        label = f"{strategy.capitalize()}{label}" if strategy == "hashed" else label
+        # Every non-plain strategy renders, psql-style: "HashedAggregate",
+        # "SortedAggregate", ... — not only the hashed one.
+        label = f"{str(strategy).capitalize()}{label}"
     return label
 
 
@@ -79,9 +82,35 @@ def _strip_actuals(tree: dict) -> dict:
     return tree
 
 
-def parse_explain_json(text: str) -> PlanNode:
-    """Parse output of :func:`explain_json` back into a plan tree."""
+def parse_explain_json(text: str, validate: bool = True) -> PlanNode:
+    """Parse output of :func:`explain_json` back into a plan tree.
+
+    The result is routed through :func:`repro.plans.validate.validate_plan`
+    by default, so a malformed tree raises a typed
+    :class:`~repro.plans.validate.PlanValidationError` *here* — at the
+    parse boundary, where the document is still in hand — instead of an
+    opaque crash deep inside featurization (the serving layer re-wraps
+    the same error as its ``InvalidPlanError`` at ``submit``).
+    ``validate=False`` is the escape hatch for callers that validate
+    downstream themselves.
+
+    For real-engine EXPLAIN documents (PostgreSQL / DuckDB / MySQL
+    dialects, operator-vocabulary mapping, stat-schema adaptation) use
+    :mod:`repro.ingest` — this function parses the *reproduction's own*
+    round-trip format, which already speaks the model's schema.
+    """
     payload = json.loads(text)
-    if not isinstance(payload, list) or "Plan" not in payload[0]:
-        raise ValueError("not an EXPLAIN (FORMAT JSON) document")
-    return PlanNode.from_dict(payload[0]["Plan"])
+    if (
+        not isinstance(payload, list)
+        or not payload
+        or not isinstance(payload[0], dict)
+        or "Plan" not in payload[0]
+    ):
+        raise PlanValidationError("not an EXPLAIN (FORMAT JSON) document")
+    try:
+        root = PlanNode.from_dict(payload[0]["Plan"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PlanValidationError(f"malformed plan tree: {exc}") from exc
+    if validate:
+        validate_plan(root)
+    return root

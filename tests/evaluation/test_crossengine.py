@@ -1,0 +1,129 @@
+"""Cross-engine suite: calibration math, holdout splits, the full run."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.config import QPPNetConfig
+from repro.evaluation import (
+    CrossEngineReport,
+    evaluate_cross_engine,
+    evaluate_engine,
+    latency_calibration,
+    split_unseen_operator,
+    split_unseen_template,
+)
+from repro.ingest import as_samples, load_explain_dir
+
+pytestmark = pytest.mark.ingest
+
+FIXTURES = Path(__file__).parent.parent / "fixtures" / "explain"
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return as_samples(load_explain_dir(FIXTURES), require_labels=False)
+
+
+class TestLatencyCalibration:
+    def test_buckets_partition_and_report_ratio(self):
+        actual = np.array([1.0, 2.0, 3.0, 10.0, 20.0, 30.0, 100.0, 200.0, 300.0])
+        predicted = actual * 2.0
+        buckets = latency_calibration(actual, predicted, n_buckets=3)
+        assert sum(b.n for b in buckets) == len(actual)
+        for bucket in buckets:
+            assert bucket.ratio == pytest.approx(2.0)
+            assert bucket.rel_error == pytest.approx(1.0)
+        # Quantile edges are increasing and span the data.
+        assert buckets[0].lo_ms == 1.0
+        assert buckets[-1].hi_ms == 300.0
+
+    def test_perfect_predictions_are_calibrated(self):
+        actual = np.linspace(1.0, 50.0, 20)
+        buckets = latency_calibration(actual, actual.copy(), n_buckets=4)
+        for bucket in buckets:
+            assert bucket.ratio == pytest.approx(1.0)
+            assert bucket.rel_error == pytest.approx(0.0)
+
+    def test_shape_errors_are_typed(self):
+        with pytest.raises(ValueError):
+            latency_calibration([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            latency_calibration([], [])
+        with pytest.raises(ValueError):
+            latency_calibration([1.0], [1.0], n_buckets=0)
+
+
+class TestSplits:
+    def test_unseen_template_holds_out_a_whole_template(self, samples):
+        pg = [s for s in samples if s.workload == "postgres"]
+        split = split_unseen_template(pg, np.random.default_rng(0))
+        assert split is not None
+        train, test, held = split
+        (held_template,) = held
+        assert all(s.template_id != held_template for s in train)
+        assert all(s.template_id == held_template for s in test)
+        assert len(train) + len(test) == len(pg)
+
+    def test_single_template_corpus_is_unmeasurable(self, samples):
+        one = [s for s in samples if s.template_id == "q1"]
+        assert split_unseen_template(one, np.random.default_rng(0)) is None
+
+    def test_unseen_operator_partitions_on_a_logical_type(self, samples):
+        pg = [s for s in samples if s.workload == "postgres"]
+        split = split_unseen_operator(pg)
+        assert split is not None
+        train, test, held = split
+        (held_type,) = held
+        for sample in train:
+            assert all(
+                node.logical_type.value != held_type
+                for node in sample.plan.preorder()
+            )
+        for sample in test:
+            assert any(
+                node.logical_type.value == held_type
+                for node in sample.plan.preorder()
+            )
+
+    def test_uniform_corpus_has_no_operator_split(self, samples):
+        uniform = [s for s in samples if s.template_id == "q1"]
+        assert split_unseen_operator(uniform) is None
+
+
+class TestSuite:
+    @pytest.fixture(scope="class")
+    def report(self, samples) -> CrossEngineReport:
+        config = QPPNetConfig(epochs=15, batch_size=16, seed=0)
+        return evaluate_cross_engine(samples, config=config, seed=0)
+
+    def test_reports_both_fixture_engines(self, report):
+        assert set(report.engines) == {"postgres", "duckdb"}
+
+    def test_every_axis_is_emitted_per_engine(self, report):
+        for engine_report in report.engines.values():
+            assert engine_report.n_train > 0 and engine_report.n_test > 0
+            assert np.isfinite(engine_report.rel_error)
+            assert np.isfinite(engine_report.mae_ms)
+            assert engine_report.calibration  # at least one bucket
+            assert engine_report.unseen_template is not None
+            assert engine_report.unseen_operator is not None
+            assert np.isfinite(engine_report.unseen_template.rel_error)
+            assert np.isfinite(engine_report.unseen_operator.rel_error)
+
+    def test_rows_flatten_for_reporting(self, report):
+        rows = report.rows()
+        engines = {row["engine"] for row in rows}
+        assert engines == {"postgres", "duckdb"}
+        axes = {row["axis"] for row in rows if row["engine"] == "postgres"}
+        assert "in-distribution" in axes
+        assert "unseen_template" in axes
+        assert "unseen_operator" in axes
+        assert any(axis.startswith("calibration") for axis in axes)
+
+    def test_too_small_corpus_is_typed(self, samples):
+        with pytest.raises(ValueError, match="need >= 4"):
+            evaluate_engine(samples[:2], "postgres")

@@ -1,0 +1,512 @@
+"""Regenerate the golden EXPLAIN fixture corpus (deterministic).
+
+The JSON files next to this script are *golden fixtures*: real-format
+EXPLAIN (ANALYZE) documents in each supported dialect, committed to the
+repo and parsed by ``tests/ingest``.  This script is how they were
+produced — rerun it only when deliberately changing the corpus, and
+review the diff like any golden-file change.
+
+Layout (one document per file, engine per sub-directory)::
+
+    postgres/  q1_0..q1_2, q3_0..q3_2, q6_0..q6_1, qidx_0..qidx_1,
+               qbitmap_0, qunknown_0 (WindowAgg), qmissing_0 (sparse stats)
+    duckdb/    d1_0..d1_2, d3_0..d3_1, d6_0..d6_1,
+               dunknown_0 (WINDOW), dmissing_0 (classic text extra_info)
+    mysql/     m1_0 (wrapper nest), m2_0 (single table; serve-only)
+
+The ``_<n>`` suffix is the parameter-variant convention
+:func:`repro.ingest.template_of_filename` strips for template grouping.
+Latencies scale roughly with scanned rows so trained-on-fixtures models
+have signal, and every analyzed document keeps actual times cumulative
+(parent >= child) as real engines do.
+
+Run:  python tests/fixtures/explain/_generate.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+HERE = Path(__file__).parent
+
+
+# ----------------------------------------------------------------------
+# PostgreSQL builders
+# ----------------------------------------------------------------------
+def pg_scan(rel, rows, width, ms, *, parent="Outer", filter_=None, blocks=None):
+    node = {
+        "Node Type": "Seq Scan",
+        "Parent Relationship": parent,
+        "Relation Name": rel,
+        "Alias": rel,
+        "Startup Cost": 0.0,
+        "Total Cost": round(rows * 0.011 + 20.0, 2),
+        "Plan Rows": rows,
+        "Plan Width": width,
+        "Actual Startup Time": 0.01,
+        "Actual Total Time": round(ms, 3),
+        "Actual Rows": rows,
+        "Actual Loops": 1,
+    }
+    if filter_:
+        node["Filter"] = filter_
+        node["Rows Removed by Filter"] = max(1, rows // 10)
+    if blocks:
+        node["Shared Hit Blocks"], node["Shared Read Blocks"] = blocks
+    return node
+
+
+def pg_wrap(node_type, child_list, rows, width, ms, **props):
+    total = max(
+        [c["Total Cost"] for c in child_list] + [round(rows * 0.02, 2)]
+    ) + round(rows * 0.005 + 5.0, 2)
+    node = {
+        "Node Type": node_type,
+        "Parent Relationship": "Outer",
+        "Startup Cost": round(total * 0.6, 2),
+        "Total Cost": round(total, 2),
+        "Plan Rows": rows,
+        "Plan Width": width,
+        "Actual Startup Time": 0.05,
+        "Actual Total Time": round(ms, 3),
+        "Actual Rows": rows,
+        "Actual Loops": 1,
+        "Plans": child_list,
+    }
+    node.update(props)
+    return node
+
+
+def pg_statement(plan, total_ms):
+    return [
+        {
+            "Plan": plan,
+            "Planning Time": round(total_ms * 0.02 + 0.1, 3),
+            "Triggers": [],
+            "Execution Time": round(total_ms, 3),
+        }
+    ]
+
+
+def pg_q1(scale):
+    rows = int(60000 * scale)
+    scan_ms = 18.0 * scale
+    scan = pg_scan(
+        "lineitem", rows, 28, scan_ms,
+        filter_="(l_shipdate <= '1998-09-02'::date)", blocks=(420, 180),
+    )
+    agg = pg_wrap(
+        "Aggregate", [scan], 6, 64, scan_ms + 9.0 * scale,
+        **{"Strategy": "Hashed", "Partial Mode": "Simple",
+           "Group Key": ["l_returnflag", "l_linestatus"]},
+    )
+    sort = pg_wrap(
+        "Sort", [agg], 6, 64, scan_ms + 9.4 * scale,
+        **{"Sort Key": ["l_returnflag", "l_linestatus"],
+           "Sort Method": "quicksort", "Sort Space Used": 25,
+           "Sort Space Type": "Memory"},
+    )
+    return pg_statement(sort, scan_ms + 9.8 * scale)
+
+
+def pg_q3(scale):
+    li = pg_scan("lineitem", int(32000 * scale), 24, 11.0 * scale,
+                 filter_="(l_shipdate > '1995-03-15'::date)", blocks=(300, 120))
+    orders = pg_scan("orders", int(7300 * scale), 20, 2.6 * scale,
+                     parent="Outer", filter_="(o_orderdate < '1995-03-15'::date)",
+                     blocks=(80, 30))
+    hash_o = pg_wrap("Hash", [orders], int(7300 * scale), 20, 2.9 * scale,
+                     **{"Parent Relationship": "Inner",
+                        "Hash Buckets": 8192, "Hash Batches": 1,
+                        "Peak Memory Usage": 420})
+    join1 = pg_wrap("Hash Join", [li, hash_o], int(15000 * scale), 44,
+                    15.5 * scale,
+                    **{"Join Type": "Inner",
+                       "Hash Cond": "(lineitem.l_orderkey = orders.o_orderkey)"})
+    cust = pg_scan("customer", int(1500 * scale), 16, 0.8 * scale,
+                   filter_="(c_mktsegment = 'BUILDING'::bpchar)", blocks=(25, 10))
+    hash_c = pg_wrap("Hash", [cust], int(1500 * scale), 16, 0.9 * scale,
+                     **{"Parent Relationship": "Inner", "Hash Buckets": 2048,
+                        "Hash Batches": 1, "Peak Memory Usage": 96})
+    join2 = pg_wrap("Hash Join", [join1, hash_c], int(3000 * scale), 60,
+                    17.8 * scale,
+                    **{"Join Type": "Inner",
+                       "Hash Cond": "(orders.o_custkey = customer.c_custkey)"})
+    agg = pg_wrap("Aggregate", [join2], int(1200 * scale), 48, 19.2 * scale,
+                  **{"Strategy": "Sorted", "Partial Mode": "Simple",
+                     "Group Key": ["lineitem.l_orderkey"]})
+    sort = pg_wrap("Sort", [agg], int(1200 * scale), 48, 19.8 * scale,
+                   **{"Sort Key": ["(sum(...)) DESC", "o_orderdate"],
+                      "Sort Method": "top-N heapsort", "Sort Space Used": 40,
+                      "Sort Space Type": "Memory"})
+    limit = pg_wrap("Limit", [sort], 10, 48, 19.85 * scale)
+    return pg_statement(limit, 20.2 * scale)
+
+
+def pg_q6(scale):
+    rows = int(1200 * scale)
+    scan = pg_scan("lineitem", rows, 12, 9.5 * scale,
+                   filter_="(l_discount >= 0.05) AND (l_quantity < 24)",
+                   blocks=(400, 160))
+    agg = pg_wrap("Aggregate", [scan], 1, 32, 9.8 * scale,
+                  **{"Strategy": "Plain", "Partial Mode": "Simple"})
+    return pg_statement(agg, 10.0 * scale)
+
+
+def pg_qidx(scale):
+    loops = int(120 * scale)
+    orders = {
+        "Node Type": "Index Scan",
+        "Parent Relationship": "Outer",
+        "Scan Direction": "Forward",
+        "Index Name": "orders_pkey",
+        "Relation Name": "orders",
+        "Alias": "orders",
+        "Startup Cost": 0.29,
+        "Total Cost": round(95.0 * scale, 2),
+        "Plan Rows": loops,
+        "Plan Width": 20,
+        "Index Cond": "(o_orderdate >= '1997-01-01'::date)",
+        "Actual Startup Time": 0.02,
+        "Actual Total Time": round(1.9 * scale, 3),
+        "Actual Rows": loops,
+        "Actual Loops": 1,
+        "Shared Hit Blocks": 60,
+        "Shared Read Blocks": 12,
+    }
+    inner = {
+        "Node Type": "Index Scan",
+        "Parent Relationship": "Inner",
+        "Scan Direction": "Forward",
+        "Index Name": "lineitem_orderkey_idx",
+        "Relation Name": "lineitem",
+        "Alias": "lineitem",
+        "Startup Cost": 0.42,
+        "Total Cost": round(1.2 * scale + 4.0, 2),
+        "Plan Rows": 4,
+        "Plan Width": 24,
+        "Index Cond": "(l_orderkey = orders.o_orderkey)",
+        "Actual Startup Time": 0.004,
+        "Actual Total Time": 0.012,  # per loop
+        "Actual Rows": 4,            # per loop
+        "Actual Loops": loops,
+        "Shared Hit Blocks": 3 * loops,
+        "Shared Read Blocks": loops // 4,
+    }
+    join = pg_wrap("Nested Loop", [orders, inner], 4 * loops, 44,
+                   2.2 * scale + 0.012 * loops,
+                   **{"Join Type": "Inner"})
+    agg = pg_wrap("Aggregate", [join], 1, 32, 2.5 * scale + 0.012 * loops,
+                  **{"Strategy": "Plain", "Partial Mode": "Simple"})
+    return pg_statement(agg, 2.7 * scale + 0.012 * loops)
+
+
+def pg_qbitmap():
+    bis = {
+        "Node Type": "Bitmap Index Scan",
+        "Parent Relationship": "Outer",
+        "Index Name": "part_size_idx",
+        "Startup Cost": 0.0,
+        "Total Cost": 24.6,
+        "Plan Rows": 2100,
+        "Plan Width": 0,
+        "Index Cond": "(p_size = 15)",
+        "Actual Startup Time": 0.4,
+        "Actual Total Time": 0.41,
+        "Actual Rows": 2100,
+        "Actual Loops": 1,
+    }
+    bhs = {
+        "Node Type": "Bitmap Heap Scan",
+        "Parent Relationship": "Outer",
+        "Relation Name": "part",
+        "Alias": "part",
+        "Startup Cost": 25.1,
+        "Total Cost": 680.8,
+        "Plan Rows": 2100,
+        "Plan Width": 36,
+        "Recheck Cond": "(p_size = 15)",
+        "Actual Startup Time": 0.6,
+        "Actual Total Time": 3.9,
+        "Actual Rows": 2100,
+        "Actual Loops": 1,
+        "Shared Hit Blocks": 140,
+        "Shared Read Blocks": 55,
+        "Plans": [bis],
+    }
+    agg = pg_wrap("Aggregate", [bhs], 1, 8, 4.3,
+                  **{"Strategy": "Plain", "Partial Mode": "Simple"})
+    return pg_statement(agg, 4.5)
+
+
+def pg_qunknown():
+    scan = pg_scan("orders", 7300, 24, 3.1, blocks=(90, 35))
+    sort = pg_wrap("Sort", [scan], 7300, 24, 5.0,
+                   **{"Sort Key": ["o_custkey", "o_orderdate"],
+                      "Sort Method": "quicksort", "Sort Space Used": 510,
+                      "Sort Space Type": "Memory"})
+    window = pg_wrap("WindowAgg", [sort], 7300, 32, 8.8)
+    limit = pg_wrap("Limit", [window], 100, 32, 8.85)
+    return pg_statement(limit, 9.1)
+
+
+def pg_qmissing():
+    # Deliberately sparse: no widths, no buffer counters, no cost on the
+    # sort — the stat adapter must fill/synthesize all of it.
+    scan = {
+        "Node Type": "Seq Scan",
+        "Relation Name": "region",
+        "Plan Rows": 5,
+        "Total Cost": 1.05,
+        "Actual Total Time": 0.02,
+        "Actual Rows": 5,
+        "Actual Loops": 1,
+    }
+    sort = {
+        "Node Type": "Sort",
+        "Sort Key": ["r_name"],
+        "Plan Rows": 5,
+        "Actual Total Time": 0.05,
+        "Actual Rows": 5,
+        "Actual Loops": 1,
+        "Plans": [scan],
+    }
+    return pg_statement(sort, 0.09)
+
+
+# ----------------------------------------------------------------------
+# DuckDB builders (newer operator_type spelling unless noted)
+# ----------------------------------------------------------------------
+def duck(name, timing, card, children=(), extra=None):
+    node = {
+        "operator_type": name,
+        "operator_timing": round(timing, 6),
+        "operator_cardinality": card,
+        "children": list(children),
+    }
+    if extra is not None:
+        node["extra_info"] = extra
+    return node
+
+
+def duck_doc(root, total_s):
+    return {"name": "Query", "result": round(total_s, 6), "children": [root]}
+
+
+def duck_d1(scale):
+    rows = int(60000 * scale)
+    scan = duck("SEQ_SCAN", 0.012 * scale, rows,
+                extra={"Table": "lineitem", "Projections": "l_returnflag, l_extendedprice",
+                       "Estimated Cardinality": str(int(rows * 1.02))})
+    agg = duck("HASH_GROUP_BY", 0.006 * scale, 4, [scan],
+               extra={"Groups": "l_returnflag", "Estimated Cardinality": "4"})
+    proj = duck("PROJECTION", 0.0002, 4, [agg],
+                extra={"Projections": "l_returnflag, revenue"})
+    return duck_doc(proj, 0.0185 * scale + 0.0005)
+
+
+def duck_d3(scale):
+    li = duck("SEQ_SCAN", 0.009 * scale, int(32000 * scale),
+              extra={"Table": "lineitem",
+                     "Filters": "l_shipdate>1995-03-15",
+                     "Estimated Cardinality": str(int(33000 * scale))})
+    orders = duck("SEQ_SCAN", 0.002 * scale, int(7300 * scale),
+                  extra={"Table": "orders",
+                         "Estimated Cardinality": str(int(7500 * scale))})
+    join1 = duck("HASH_JOIN", 0.004 * scale, int(15000 * scale), [li, orders],
+                 extra={"Conditions": "l_orderkey = o_orderkey",
+                        "Estimated Cardinality": str(int(15500 * scale))})
+    cust = duck("SEQ_SCAN", 0.0006 * scale, int(1500 * scale),
+                extra={"Table": "customer",
+                       "Estimated Cardinality": str(int(1500 * scale))})
+    join2 = duck("HASH_JOIN", 0.0021 * scale, int(3000 * scale), [join1, cust],
+                 extra={"Conditions": "o_custkey = c_custkey",
+                        "Estimated Cardinality": str(int(3100 * scale))})
+    agg = duck("HASH_GROUP_BY", 0.0017 * scale, int(1200 * scale), [join2],
+               extra={"Groups": "l_orderkey", "Estimated Cardinality":
+                      str(int(1250 * scale))})
+    topn = duck("TOP_N", 0.0004 * scale, 10, [agg],
+                extra={"Order By": ["revenue DESC", "o_orderdate"], "Top": "10"})
+    proj = duck("PROJECTION", 0.0001, 10, [topn],
+                extra={"Projections": "l_orderkey, revenue, o_orderdate"})
+    return duck_doc(proj, 0.0195 * scale + 0.0004)
+
+
+def duck_d6(scale):
+    rows = int(1200 * scale)
+    scan = duck("SEQ_SCAN", 0.0065 * scale, rows,
+                extra={"Table": "lineitem",
+                       "Filters": "l_discount>=0.05 AND l_quantity<24",
+                       "Estimated Cardinality": str(int(rows * 1.1))})
+    filt = duck("FILTER", 0.0009 * scale, rows, [scan],
+                extra={"Expression": "l_shipdate >= 1994-01-01",
+                       "Estimated Cardinality": str(rows)})
+    agg = duck("UNGROUPED_AGGREGATE", 0.0004 * scale, 1, [filt],
+               extra={"Aggregates": "sum(l_extendedprice * l_discount)"})
+    return duck_doc(agg, 0.0081 * scale + 0.0003)
+
+
+def duck_dunknown():
+    scan = duck("SEQ_SCAN", 0.003, 7300,
+                extra={"Table": "orders", "Estimated Cardinality": "7300"})
+    window = duck("WINDOW", 0.0045, 7300, [scan],
+                  extra={"Projections": "row_number() OVER (...)"})
+    proj = duck("PROJECTION", 0.0001, 7300, [window])
+    return duck_doc(proj, 0.0079)
+
+
+def duck_dmissing():
+    # Classic profiling spelling: name/timing/cardinality, text extra_info,
+    # no estimates anywhere — the missing-stats document.
+    scan = {
+        "name": "SEQ_SCAN",
+        "timing": 0.004,
+        "cardinality": 25000,
+        "extra_info": "nation\n[INFOSEPARATOR]\nn_nationkey\nn_name",
+        "children": [],
+    }
+    agg = {
+        "name": "HASH_GROUP_BY",
+        "timing": 0.0011,
+        "cardinality": 25,
+        "children": [scan],
+    }
+    return {"name": "Query", "result": 0.0056, "children": [agg]}
+
+
+# ----------------------------------------------------------------------
+# MySQL builders (EXPLAIN FORMAT=JSON; no actuals by design)
+# ----------------------------------------------------------------------
+def mysql_m1():
+    return {
+        "query_block": {
+            "select_id": 1,
+            "cost_info": {"query_cost": "4843.70"},
+            "ordering_operation": {
+                "using_filesort": True,
+                "grouping_operation": {
+                    "using_temporary_table": True,
+                    "using_filesort": False,
+                    "nested_loop": [
+                        {
+                            "table": {
+                                "table_name": "customer",
+                                "access_type": "ALL",
+                                "rows_examined_per_scan": 1500,
+                                "rows_produced_per_join": 300,
+                                "filtered": "20.00",
+                                "cost_info": {
+                                    "read_cost": "121.15",
+                                    "eval_cost": "30.00",
+                                    "prefix_cost": "151.25",
+                                    "data_read_per_join": "43K",
+                                },
+                                "used_columns": ["c_custkey", "c_mktsegment"],
+                                "attached_condition":
+                                    "(customer.c_mktsegment = 'BUILDING')",
+                            }
+                        },
+                        {
+                            "table": {
+                                "table_name": "orders",
+                                "access_type": "ref",
+                                "possible_keys": ["fk_custkey"],
+                                "key": "fk_custkey",
+                                "used_key_parts": ["o_custkey"],
+                                "rows_examined_per_scan": 5,
+                                "rows_produced_per_join": 1500,
+                                "filtered": "100.00",
+                                "cost_info": {
+                                    "read_cost": "375.00",
+                                    "eval_cost": "150.00",
+                                    "prefix_cost": "676.25",
+                                    "data_read_per_join": "190K",
+                                },
+                            }
+                        },
+                        {
+                            "table": {
+                                "table_name": "lineitem",
+                                "access_type": "ref",
+                                "possible_keys": ["fk_orderkey"],
+                                "key": "fk_orderkey",
+                                "used_key_parts": ["l_orderkey"],
+                                "rows_examined_per_scan": 4,
+                                "rows_produced_per_join": 6000,
+                                "filtered": "100.00",
+                                "cost_info": {
+                                    "read_cost": "2400.50",
+                                    "eval_cost": "600.00",
+                                    "prefix_cost": "4843.70",
+                                    "data_read_per_join": "1M",
+                                },
+                            }
+                        },
+                    ],
+                },
+            },
+        }
+    }
+
+
+def mysql_m2():
+    return {
+        "query_block": {
+            "select_id": 1,
+            "cost_info": {"query_cost": "155.00"},
+            "table": {
+                "table_name": "lineitem",
+                "access_type": "range",
+                "possible_keys": ["l_shipdate_idx"],
+                "key": "l_shipdate_idx",
+                "used_key_parts": ["l_shipdate"],
+                "rows_examined_per_scan": 1200,
+                "rows_produced_per_join": 1200,
+                "filtered": "100.00",
+                "cost_info": {
+                    "read_cost": "125.00",
+                    "eval_cost": "30.00",
+                    "prefix_cost": "155.00",
+                    "data_read_per_join": "150K",
+                },
+                "attached_condition": "(lineitem.l_discount >= 0.05)",
+            },
+        }
+    }
+
+
+def main() -> None:
+    corpus = {
+        "postgres": {
+            "q1_0": pg_q1(1.0), "q1_1": pg_q1(1.6), "q1_2": pg_q1(0.7),
+            "q3_0": pg_q3(1.0), "q3_1": pg_q3(1.4), "q3_2": pg_q3(0.8),
+            "q6_0": pg_q6(1.0), "q6_1": pg_q6(2.1),
+            "qidx_0": pg_qidx(1.0), "qidx_1": pg_qidx(1.8),
+            "qbitmap_0": pg_qbitmap(),
+            "qunknown_0": pg_qunknown(),
+            "qmissing_0": pg_qmissing(),
+        },
+        "duckdb": {
+            "d1_0": duck_d1(1.0), "d1_1": duck_d1(1.5), "d1_2": duck_d1(0.6),
+            "d3_0": duck_d3(1.0), "d3_1": duck_d3(1.3),
+            "d6_0": duck_d6(1.0), "d6_1": duck_d6(1.9),
+            "dunknown_0": duck_dunknown(),
+            "dmissing_0": duck_dmissing(),
+        },
+        "mysql": {
+            "m1_0": mysql_m1(),
+            "m2_0": mysql_m2(),
+        },
+    }
+    for engine, files in corpus.items():
+        directory = HERE / engine
+        directory.mkdir(parents=True, exist_ok=True)
+        for stem, doc in files.items():
+            path = directory / f"{stem}.json"
+            path.write_text(json.dumps(doc, indent=1) + "\n")
+            print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

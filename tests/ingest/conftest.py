@@ -1,0 +1,33 @@
+"""Shared plumbing for the ingestion suite.
+
+Everything here runs off the golden EXPLAIN fixture corpus in
+``tests/fixtures/explain/`` (see ``_generate.py`` there) — real-format
+documents, no synthetic-generator involvement anywhere in this suite.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent.parent / "fixtures" / "explain"
+
+
+def load_fixture(engine: str, stem: str):
+    """The raw parsed-JSON document of one golden fixture file."""
+    return json.loads((FIXTURES / engine / f"{stem}.json").read_text())
+
+
+@pytest.fixture(scope="session")
+def fixture_dir() -> Path:
+    return FIXTURES
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The whole golden corpus, parsed and validated once per session."""
+    from repro.ingest import load_explain_dir
+
+    return load_explain_dir(FIXTURES)

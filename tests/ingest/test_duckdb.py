@@ -1,0 +1,122 @@
+"""DuckDB dialect: profiling trees, exclusive->inclusive timings, fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ingest import (
+    SOURCE_ENGINE_PROP,
+    UNKNOWN_OP_PROP,
+    UnknownOperatorError,
+    parse_duckdb_explain,
+)
+from repro.plans import PhysicalOp, validate_plan
+
+from .conftest import FIXTURES, load_fixture
+
+pytestmark = pytest.mark.ingest
+
+
+def parse_one(stem: str, **kwargs):
+    plans = parse_duckdb_explain(load_fixture("duckdb", stem), **kwargs)
+    assert len(plans) == 1
+    return plans[0]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "stem", [p.stem for p in sorted((FIXTURES / "duckdb").glob("*.json"))]
+    )
+    def test_every_golden_document_parses_and_validates(self, stem):
+        ingested = parse_one(stem)
+        validate_plan(ingested.plan)
+        assert ingested.engine == "duckdb"
+        assert ingested.analyzed
+        for node in ingested.plan.preorder():
+            assert node.props[SOURCE_ENGINE_PROP] == "duckdb"
+
+    def test_query_wrapper_supplies_the_latency_label(self):
+        doc = load_fixture("duckdb", "d1_0")
+        ingested = parse_duckdb_explain(doc)[0]
+        assert ingested.latency_ms == pytest.approx(doc["result"] * 1000.0)
+
+    def test_structure_and_vocabulary_mapping(self):
+        plan = parse_one("d3_0").plan
+        # PROJECTION <- TOP_N <- HASH_GROUP_BY <- HASH_JOIN <- ...
+        assert plan.op is PhysicalOp.MATERIALIZE
+        topn = plan.children[0]
+        assert topn.op is PhysicalOp.SORT
+        assert topn.props["Sort Method"] == "top-N heapsort"
+        agg = topn.children[0]
+        assert agg.op is PhysicalOp.AGGREGATE
+        assert agg.props["Strategy"] == "hashed"
+        join = agg.children[0]
+        assert join.op is PhysicalOp.HASH_JOIN
+        assert len(join.children) == 2
+
+    def test_extra_info_is_mined_for_table_2_props(self):
+        plan = parse_one("d1_0").plan
+        scan = plan.children[0].children[0]
+        assert scan.op is PhysicalOp.SEQ_SCAN
+        assert scan.props["Relation Name"] == "lineitem"
+        # "Estimated Cardinality" string becomes the numeric row estimate.
+        raw_scan = (
+            load_fixture("duckdb", "d1_0")["children"][0]["children"][0]["children"][0]
+        )
+        assert scan.props["Plan Rows"] == float(
+            raw_scan["extra_info"]["Estimated Cardinality"]
+        )
+
+
+class TestTimings:
+    def test_exclusive_timings_fold_into_inclusive_ms(self):
+        doc = load_fixture("duckdb", "d1_0")
+        proj = doc["children"][0]
+        agg = proj["children"][0]
+        scan = agg["children"][0]
+        plan = parse_one("d1_0").plan
+        scan_ms = scan["operator_timing"] * 1000.0
+        agg_ms = scan_ms + agg["operator_timing"] * 1000.0
+        proj_ms = agg_ms + proj["operator_timing"] * 1000.0
+        assert plan.children[0].children[0].actual_total_ms == pytest.approx(scan_ms)
+        assert plan.children[0].actual_total_ms == pytest.approx(agg_ms)
+        assert plan.actual_total_ms == pytest.approx(proj_ms)
+
+    def test_synthetic_costs_are_monotone(self):
+        # DuckDB has no cost model; the stat adapter synthesizes one.
+        for stem in ("d1_0", "d3_0", "dmissing_0"):
+            plan = parse_one(stem).plan
+            for node in plan.preorder():
+                for child in node.children:
+                    assert node.props["Total Cost"] >= child.props["Total Cost"]
+
+
+class TestClassicSpelling:
+    def test_name_timing_and_text_extra_info_parse(self):
+        # dmissing uses the classic name/timing keys and a
+        # [INFOSEPARATOR] string extra_info with no estimates at all.
+        ingested = parse_one("dmissing_0")
+        validate_plan(ingested.plan)
+        agg, scan = list(ingested.plan.preorder())
+        assert agg.op is PhysicalOp.AGGREGATE
+        assert scan.op is PhysicalOp.SEQ_SCAN
+        assert scan.props["Relation Name"] == "nation"  # first extra_info line
+        assert scan.props["Plan Width"] == 8.0  # defaulted, not invented
+
+
+class TestUnknownOperators:
+    def test_window_degrades_to_unary_fallback(self):
+        ingested = parse_one("dunknown_0")
+        assert ingested.fallback_ops == ("WINDOW",)
+        degraded = [
+            n for n in ingested.plan.preorder() if UNKNOWN_OP_PROP in n.props
+        ]
+        assert len(degraded) == 1
+        assert degraded[0].op is PhysicalOp.MATERIALIZE
+        validate_plan(ingested.plan)
+
+    def test_raise_mode_surfaces_typed_error(self):
+        with pytest.raises(UnknownOperatorError) as excinfo:
+            parse_one("dunknown_0", on_unknown="raise")
+        assert excinfo.value.engine == "duckdb"
+        assert excinfo.value.name == "WINDOW"

@@ -1,0 +1,78 @@
+"""Acceptance: real EXPLAIN documents flow end-to-end with no synthetic
+generator anywhere — parse -> validate -> featurize -> train -> serve."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batching import PreGroupedCorpus
+from repro.core.config import QPPNetConfig
+from repro.core.model import QPPNet
+from repro.core.trainer import Trainer
+from repro.featurize import Featurizer
+from repro.ingest import as_samples, load_explain_dir
+from repro.plans import validate_plan
+from repro.serving import PredictionService
+
+from .conftest import FIXTURES
+
+pytestmark = pytest.mark.ingest
+
+
+@pytest.fixture(scope="module")
+def pg_samples():
+    plans = load_explain_dir(FIXTURES / "postgres", engine="postgres")
+    for plan in plans:
+        validate_plan(plan.plan)
+    return as_samples(plans)
+
+
+def test_postgres_corpus_trains_and_serves(pg_samples):
+    # Hold out one variant per multi-variant template for serving.
+    held_out = [s for s in pg_samples if s.template_id in ("q1", "q3")][:2]
+    train = [s for s in pg_samples if s not in held_out]
+    assert len(train) >= 8 and len(held_out) == 2
+
+    config = QPPNetConfig(epochs=25, batch_size=16, seed=7)
+    featurizer = Featurizer().fit([s.plan for s in train])
+    model = QPPNet(featurizer, config)
+
+    # The compiled tier must group the ingested corpus like any other.
+    grouped = PreGroupedCorpus.from_samples(train, featurizer, dtype=config.np_dtype)
+    assert grouped.n_plans == len(train)
+
+    history = Trainer(model, config).fit(train)
+    assert history.final_loss < history.train_loss[0]  # it actually learned
+
+    with PredictionService(model, max_batch_size=8, max_wait_ms=0.5) as service:
+        predictions = [service.submit(s.plan) for s in held_out]
+        for prediction, sample in zip(predictions, held_out):
+            value = prediction.result(timeout=30.0)
+            assert value > 0.0
+            # Sanity band, not accuracy: a 25-epoch fit on a tiny corpus
+            # must still land within two orders of magnitude.
+            assert value < sample.latency_ms * 100
+
+
+def test_mixed_engine_corpus_featurizes_jointly():
+    plans = load_explain_dir(FIXTURES)
+    samples = as_samples(plans, require_labels=False)
+    engines = {s.workload for s in samples}
+    assert engines == {"postgres", "duckdb"}  # mysql is serve-only
+    featurizer = Featurizer().fit([s.plan for s in samples])
+    config = QPPNetConfig(epochs=1, batch_size=8, seed=0)
+    grouped = PreGroupedCorpus.from_samples(samples, featurizer, dtype=config.np_dtype)
+    assert grouped.n_plans == len(samples)
+
+
+def test_fallback_plans_survive_the_full_path():
+    # The degraded (unknown-operator) plans must train and serve too.
+    plans = load_explain_dir(FIXTURES / "duckdb", engine="duckdb")
+    samples = as_samples(plans)
+    config = QPPNetConfig(epochs=5, batch_size=8, seed=3)
+    featurizer = Featurizer().fit([s.plan for s in samples])
+    model = QPPNet(featurizer, config)
+    Trainer(model, config).fit(samples)
+    degraded = next(p for p in plans if p.fallback_ops)
+    with PredictionService(model, max_batch_size=4, max_wait_ms=0.5) as service:
+        assert service.submit(degraded.plan).result(timeout=30.0) > 0.0

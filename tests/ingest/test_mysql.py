@@ -1,0 +1,86 @@
+"""MySQL dialect: wrapper-key documents, serve-only (no actuals)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ingest import DialectError, as_samples, parse_mysql_explain
+from repro.plans import PhysicalOp, validate_plan
+
+from .conftest import load_fixture
+
+pytestmark = pytest.mark.ingest
+
+
+def parse_one(stem: str, **kwargs):
+    plans = parse_mysql_explain(load_fixture("mysql", stem), **kwargs)
+    assert len(plans) == 1
+    return plans[0]
+
+
+class TestWrapperNest:
+    def test_wrappers_become_operator_tree(self):
+        # ordering_operation > grouping_operation > nested_loop[3 tables]
+        plan = parse_one("m1_0").plan
+        validate_plan(plan)
+        assert plan.op is PhysicalOp.SORT
+        agg = plan.children[0]
+        assert agg.op is PhysicalOp.AGGREGATE
+        join_outer = agg.children[0]
+        assert join_outer.op is PhysicalOp.NESTED_LOOP
+
+    def test_nary_nested_loop_binarizes_left_deep(self):
+        plan = parse_one("m1_0").plan
+        outer = plan.children[0].children[0]
+        inner = outer.children[0]
+        # ((customer JOIN orders) JOIN lineitem)
+        assert inner.op is PhysicalOp.NESTED_LOOP
+        names = [n.props.get("Relation Name") for n in plan.preorder()
+                 if n.props.get("Relation Name")]
+        assert names == ["customer", "orders", "lineitem"]
+        assert outer.children[1].props["Relation Name"] == "lineitem"
+
+    def test_access_types_map_to_scan_ops(self):
+        plan = parse_one("m1_0").plan
+        scans = {n.props["Relation Name"]: n.op for n in plan.preorder()
+                 if n.props.get("Relation Name")}
+        assert scans["customer"] is PhysicalOp.SEQ_SCAN  # access_type ALL
+        assert scans["orders"] is PhysicalOp.INDEX_SCAN  # access_type ref
+        assert plan.preorder()  # sanity
+
+    def test_prefix_costs_are_cumulative_join_costs(self):
+        doc = load_fixture("mysql", "m1_0")
+        plan = parse_one("m1_0").plan
+        root_cost = float(doc["query_block"]["cost_info"]["query_cost"])
+        assert plan.props["Total Cost"] >= root_cost
+        for node in plan.preorder():
+            for child in node.children:
+                assert node.props["Total Cost"] >= child.props["Total Cost"]
+
+    def test_single_table_block(self):
+        plan = parse_one("m2_0").plan
+        validate_plan(plan)
+        assert plan.op is PhysicalOp.INDEX_SCAN  # access_type range
+        assert plan.props["Relation Name"] == "lineitem"
+        assert plan.props["Index Name"] == "l_shipdate_idx"
+
+
+class TestServeOnly:
+    def test_no_latency_label(self):
+        ingested = parse_one("m1_0")
+        assert ingested.latency_ms is None
+        assert not ingested.analyzed
+
+    def test_training_conversion_is_a_typed_refusal(self):
+        ingested = parse_one("m1_0")
+        with pytest.raises(ValueError, match="served but not trained"):
+            ingested.to_sample()
+        with pytest.raises(ValueError):
+            as_samples([ingested])
+        assert as_samples([ingested], require_labels=False) == []
+
+
+class TestMalformed:
+    def test_documents_without_query_block_raise_dialect_error(self):
+        with pytest.raises(DialectError):
+            parse_mysql_explain({"not_a_query_block": {}})

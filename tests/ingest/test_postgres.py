@@ -1,0 +1,141 @@
+"""PostgreSQL dialect: round-trip of golden EXPLAIN ANALYZE documents."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ingest import (
+    SOURCE_ENGINE_PROP,
+    UNKNOWN_OP_PROP,
+    UnknownOperatorError,
+    parse_postgres_explain,
+)
+from repro.plans import PhysicalOp, validate_plan
+
+from .conftest import FIXTURES, load_fixture
+
+pytestmark = pytest.mark.ingest
+
+
+def parse_one(stem: str, **kwargs):
+    plans = parse_postgres_explain(load_fixture("postgres", stem), **kwargs)
+    assert len(plans) == 1
+    return plans[0]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "stem", [p.stem for p in sorted((FIXTURES / "postgres").glob("*.json"))]
+    )
+    def test_every_golden_document_parses_and_validates(self, stem):
+        ingested = parse_one(stem)
+        validate_plan(ingested.plan)
+        assert ingested.engine == "postgres"
+        assert ingested.analyzed
+        assert ingested.latency_ms > 0
+        for node in ingested.plan.preorder():
+            assert node.props[SOURCE_ENGINE_PROP] == "postgres"
+
+    def test_accepts_string_bytes_and_parsed_documents(self):
+        doc = load_fixture("postgres", "q6_0")
+        text = json.dumps(doc)
+        for variant in (doc, text, text.encode()):
+            ingested = parse_postgres_explain(variant)
+            assert len(ingested) == 1
+            assert ingested[0].plan.op is PhysicalOp.AGGREGATE
+
+    def test_statement_latency_is_execution_time(self):
+        doc = load_fixture("postgres", "q1_0")
+        ingested = parse_postgres_explain(doc)[0]
+        assert ingested.latency_ms == pytest.approx(doc[0]["Execution Time"])
+        assert ingested.planning_ms == pytest.approx(doc[0]["Planning Time"])
+
+    def test_structure_matches_document(self):
+        # q1: Sort <- Aggregate(hashed) <- Seq Scan, exactly.
+        plan = parse_one("q1_0").plan
+        assert plan.op is PhysicalOp.SORT
+        (agg,) = plan.children
+        assert agg.op is PhysicalOp.AGGREGATE
+        assert agg.props["Strategy"] == "hashed"  # normalized to lowercase
+        (scan,) = agg.children
+        assert scan.op is PhysicalOp.SEQ_SCAN
+        assert scan.props["Relation Name"] == "lineitem"
+        assert not scan.children
+
+
+class TestActuals:
+    def test_per_loop_actuals_are_scaled_to_inclusive_totals(self):
+        # qidx's inner index scan reports per-loop averages; the parsed
+        # node must carry loop-scaled (inclusive) actuals.
+        doc = load_fixture("postgres", "qidx_0")
+        raw_inner = doc[0]["Plan"]["Plans"][0]["Plans"][1]
+        assert raw_inner["Actual Loops"] > 1  # fixture sanity
+        plan = parse_one("qidx_0").plan
+        join = plan.children[0]
+        inner = join.children[1]
+        assert inner.op is PhysicalOp.INDEX_SCAN
+        assert inner.actual_total_ms == pytest.approx(
+            raw_inner["Actual Total Time"] * raw_inner["Actual Loops"]
+        )
+        assert inner.actual_rows == pytest.approx(
+            raw_inner["Actual Rows"] * raw_inner["Actual Loops"]
+        )
+
+    def test_actual_times_stay_cumulative(self):
+        for stem in ("q3_0", "qidx_0", "qbitmap_0"):
+            plan = parse_one(stem).plan
+            for node in plan.preorder():
+                for child in node.children:
+                    assert node.actual_total_ms >= child.actual_total_ms
+
+
+class TestBitmapAbsorption:
+    def test_bitmap_pair_collapses_to_one_index_scan(self):
+        plan = parse_one("qbitmap_0").plan
+        ops = [node.op for node in plan.preorder()]
+        assert ops == [PhysicalOp.AGGREGATE, PhysicalOp.INDEX_SCAN]
+        scan = plan.children[0]
+        assert scan.props["Index Name"] == "part_size_idx"  # from the child
+        assert scan.props["Relation Name"] == "part"  # from the heap scan
+        assert not scan.children
+
+
+class TestUnknownOperators:
+    def test_windowagg_degrades_to_unary_fallback(self):
+        ingested = parse_one("qunknown_0")
+        assert ingested.fallback_ops == ("WindowAgg",)
+        degraded = [
+            n for n in ingested.plan.preorder() if UNKNOWN_OP_PROP in n.props
+        ]
+        assert len(degraded) == 1
+        assert degraded[0].op is PhysicalOp.MATERIALIZE
+        assert degraded[0].props[UNKNOWN_OP_PROP] == "WindowAgg"
+        validate_plan(ingested.plan)
+
+    def test_raise_mode_surfaces_typed_error(self):
+        with pytest.raises(UnknownOperatorError) as excinfo:
+            parse_one("qunknown_0", on_unknown="raise")
+        assert excinfo.value.engine == "postgres"
+        assert excinfo.value.name == "WindowAgg"
+
+
+class TestMissingStats:
+    def test_sparse_document_is_filled_and_validates(self):
+        ingested = parse_one("qmissing_0")
+        validate_plan(ingested.plan)
+        sort, scan = list(ingested.plan.preorder())
+        # Missing width/buffers got neutral defaults...
+        assert scan.props["Plan Width"] == 8.0
+        assert scan.props["Plan Buffers"] == 0.0
+        # ...the sort's missing cost was synthesized cumulatively...
+        assert sort.props["Total Cost"] >= scan.props["Total Cost"]
+        # ...and the sort's required props exist.
+        assert sort.props["Sort Method"] == "quicksort"
+
+    def test_native_values_survive_filling(self):
+        ingested = parse_one("qmissing_0")
+        scan = ingested.plan.children[0]
+        assert scan.props["Total Cost"] == pytest.approx(1.05)
+        assert scan.props["Plan Rows"] == 5

@@ -1,0 +1,119 @@
+"""The missing-stat contract: derivations, defaults, cost synthesis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ingest import (
+    REQUIRED_DEFAULTS,
+    UNIVERSAL_DEFAULTS,
+    apply_stat_defaults,
+    ensure_cumulative_costs,
+    scan_defaults_for,
+)
+from repro.plans import PhysicalOp, PlanNode, validate_plan
+from repro.plans.validate import REQUIRED_BY_OP, UNIVERSAL_PROPS
+
+pytestmark = pytest.mark.ingest
+
+
+def _bare(op: PhysicalOp, children=None, **props) -> PlanNode:
+    return PlanNode(op, props, children or [])
+
+
+class TestDerivations:
+    def test_plan_buffers_derive_from_pg_counters(self):
+        node = _bare(
+            PhysicalOp.SEQ_SCAN,
+            **{"Shared Hit Blocks": 40, "Shared Read Blocks": 10,
+               "Temp Written Blocks": 2},
+        )
+        apply_stat_defaults(node)
+        assert node.props["Plan Buffers"] == 52.0
+        assert node.props["Estimated I/Os"] == 10.0  # read-side only
+
+    def test_engine_native_values_always_win(self):
+        node = _bare(
+            PhysicalOp.SEQ_SCAN,
+            **{"Plan Buffers": 7.0, "Shared Hit Blocks": 40,
+               "Plan Rows": 99.0, "Relation Name": "t"},
+        )
+        apply_stat_defaults(node)
+        assert node.props["Plan Buffers"] == 7.0
+        assert node.props["Plan Rows"] == 99.0
+        assert node.props["Relation Name"] == "t"
+
+    def test_no_counters_means_neutral_zero(self):
+        node = _bare(PhysicalOp.SEQ_SCAN)
+        apply_stat_defaults(node)
+        assert node.props["Plan Buffers"] == 0.0
+        assert node.props["Estimated I/Os"] == 0.0
+
+
+class TestDefaults:
+    def test_every_universal_prop_is_covered(self):
+        # Total Cost is synthesized, the other four come from defaults.
+        assert set(UNIVERSAL_DEFAULTS) == set(UNIVERSAL_PROPS) - {"Total Cost"}
+
+    def test_every_required_prop_has_a_default(self):
+        for op, required in REQUIRED_BY_OP.items():
+            for key in required:
+                assert key in REQUIRED_DEFAULTS, f"{op}: no default for {key!r}"
+
+    def test_defaulted_tree_validates(self):
+        # A property-less tree of every unit family must validate after
+        # one apply_stat_defaults pass — that is the whole contract.
+        scan = lambda: _bare(PhysicalOp.SEQ_SCAN)  # noqa: E731
+        tree = _bare(
+            PhysicalOp.LIMIT,
+            [_bare(
+                PhysicalOp.AGGREGATE,
+                [_bare(
+                    PhysicalOp.SORT,
+                    [_bare(
+                        PhysicalOp.HASH_JOIN,
+                        [_bare(PhysicalOp.MERGE_JOIN, [scan(), scan()]),
+                         _bare(PhysicalOp.HASH, [_bare(
+                             PhysicalOp.MATERIALIZE,
+                             [_bare(PhysicalOp.NESTED_LOOP, [
+                                 scan(),
+                                 _bare(PhysicalOp.INDEX_SCAN)])])])],
+                    )],
+                )],
+            )],
+        )
+        apply_stat_defaults(tree)
+        validate_plan(tree)
+
+    def test_scan_defaults_for_matches_validation(self):
+        for op in PhysicalOp:
+            node = _bare(op, [])
+            node.props.update(scan_defaults_for(op))
+            ensure_cumulative_costs(node)
+            if op in (PhysicalOp.SEQ_SCAN, PhysicalOp.INDEX_SCAN):
+                validate_plan(node)  # leaves validate standalone
+
+
+class TestCumulativeCosts:
+    def test_costless_tree_gets_monotone_synthetic_costs(self):
+        scan = _bare(PhysicalOp.SEQ_SCAN, **{"Plan Rows": 100.0})
+        agg = _bare(PhysicalOp.AGGREGATE, [scan], **{"Plan Rows": 5.0})
+        ensure_cumulative_costs(agg)
+        assert scan.props["Total Cost"] == 100.0
+        assert agg.props["Total Cost"] == 105.0
+        assert agg.props["Startup Cost"] == 0.0
+
+    def test_non_cumulative_native_cost_is_bumped(self):
+        scan = _bare(PhysicalOp.SEQ_SCAN, **{"Total Cost": 500.0, "Plan Rows": 1.0})
+        agg = _bare(
+            PhysicalOp.AGGREGATE, [scan], **{"Total Cost": 10.0, "Plan Rows": 1.0}
+        )
+        ensure_cumulative_costs(agg)
+        assert agg.props["Total Cost"] == 500.0
+
+    def test_native_cumulative_costs_untouched(self):
+        scan = _bare(PhysicalOp.SEQ_SCAN, **{"Total Cost": 100.0})
+        agg = _bare(PhysicalOp.AGGREGATE, [scan], **{"Total Cost": 140.0})
+        ensure_cumulative_costs(agg)
+        assert agg.props["Total Cost"] == 140.0
+        assert scan.props["Total Cost"] == 100.0

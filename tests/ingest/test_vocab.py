@@ -1,0 +1,175 @@
+"""Operator-vocabulary mapping, the unknown-operator contract, fit_arity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ingest import (
+    DUCKDB_VOCABULARY,
+    FALLBACK_BY_ARITY,
+    MYSQL_VOCABULARY,
+    POSTGRES_VOCABULARY,
+    UNKNOWN_OP_PROP,
+    DialectError,
+    OperatorRule,
+    OperatorVocabulary,
+    ResolvedOp,
+    UnknownOperatorError,
+    fit_arity,
+    known_engines,
+    register_vocabulary,
+    vocabulary_for,
+)
+from repro.plans.operators import LogicalType, PhysicalOp, arity_of, logical_type_of
+
+pytestmark = pytest.mark.ingest
+
+
+class TestMappings:
+    def test_postgres_core_ten_map_one_to_one(self):
+        # The model's operator names are PostgreSQL's, so each core
+        # physical op must resolve to itself without fallback.
+        for op in PhysicalOp:
+            resolved = POSTGRES_VOCABULARY.resolve(op.value)
+            assert resolved.op is op
+            assert not resolved.fallback
+
+    def test_postgres_strategy_split_aggregates(self):
+        hashed = POSTGRES_VOCABULARY.resolve("HashAggregate")
+        grouped = POSTGRES_VOCABULARY.resolve("GroupAggregate")
+        assert hashed.op is PhysicalOp.AGGREGATE
+        assert hashed.props["Strategy"] == "hashed"
+        assert grouped.props["Strategy"] == "sorted"
+
+    def test_duckdb_names_land_in_closed_taxonomy(self):
+        expectations = {
+            "SEQ_SCAN": PhysicalOp.SEQ_SCAN,
+            "ORDER_BY": PhysicalOp.SORT,
+            "HASH_JOIN": PhysicalOp.HASH_JOIN,
+            "HASH_GROUP_BY": PhysicalOp.AGGREGATE,
+            "UNGROUPED_AGGREGATE": PhysicalOp.AGGREGATE,
+            "PROJECTION": PhysicalOp.MATERIALIZE,
+            "STREAMING_LIMIT": PhysicalOp.LIMIT,
+            "CROSS_PRODUCT": PhysicalOp.NESTED_LOOP,
+        }
+        for name, op in expectations.items():
+            assert DUCKDB_VOCABULARY.resolve(name).op is op
+
+    def test_duckdb_topn_implies_sort_method(self):
+        resolved = DUCKDB_VOCABULARY.resolve("TOP_N")
+        assert resolved.op is PhysicalOp.SORT
+        assert resolved.props["Sort Method"] == "top-N heapsort"
+
+    def test_mysql_wrapper_keys_and_access_types(self):
+        assert MYSQL_VOCABULARY.resolve("ordering_operation").op is PhysicalOp.SORT
+        assert MYSQL_VOCABULARY.resolve("grouping_operation").op is PhysicalOp.AGGREGATE
+        assert MYSQL_VOCABULARY.resolve("ALL").op is PhysicalOp.SEQ_SCAN
+        for access in ("index", "range", "ref", "eq_ref", "const"):
+            assert MYSQL_VOCABULARY.resolve(access).op is PhysicalOp.INDEX_SCAN
+
+    def test_every_builtin_rule_is_taxonomy_valid(self):
+        # Every rule of every registered vocabulary must land on an op
+        # the unit registry has a family for.
+        for engine in known_engines():
+            vocab = vocabulary_for(engine)
+            for name in vocab.names():
+                resolved = vocab.resolve(name)
+                assert logical_type_of(resolved.op) in LogicalType
+
+
+class TestUnknownOperatorContract:
+    def test_raise_mode_is_typed_and_carries_context(self):
+        with pytest.raises(UnknownOperatorError) as excinfo:
+            DUCKDB_VOCABULARY.resolve("WINDOW", n_children=1, on_unknown="raise")
+        err = excinfo.value
+        assert err.engine == "duckdb"
+        assert err.name == "WINDOW"
+        assert "WINDOW" in str(err)
+        assert isinstance(err, ValueError)  # catchable as the base class
+
+    def test_fallback_is_arity_matched(self):
+        for n_children, expected in FALLBACK_BY_ARITY.items():
+            resolved = POSTGRES_VOCABULARY.resolve("Custom Scan", n_children=n_children)
+            assert resolved.fallback
+            assert resolved.op is expected
+            assert resolved.props[UNKNOWN_OP_PROP] == "Custom Scan"
+
+    def test_fallback_for_wide_nodes_is_a_join(self):
+        resolved = POSTGRES_VOCABULARY.resolve("Append", n_children=5)
+        assert resolved.op is PhysicalOp.NESTED_LOOP
+
+    def test_never_a_keyerror(self):
+        try:
+            POSTGRES_VOCABULARY.resolve("No Such Operator", n_children=1)
+            POSTGRES_VOCABULARY.resolve(
+                "No Such Operator", n_children=1, on_unknown="raise"
+            )
+        except KeyError:  # pragma: no cover - the bug this suite guards
+            pytest.fail("vocabulary resolution raised an untyped KeyError")
+        except UnknownOperatorError:
+            pass
+
+
+class TestFitArity:
+    @staticmethod
+    def _make_node(resolved, children):
+        return {"op": resolved.op, "props": dict(resolved.props), "children": children}
+
+    def test_matching_arity_is_untouched(self):
+        resolved = ResolvedOp(PhysicalOp.SORT, {}, "Sort")
+        out, children = fit_arity(resolved, ["child"], self._make_node)
+        assert out is resolved
+        assert children == ["child"]
+
+    def test_mismatch_degrades_to_fallback(self):
+        # A "Sort" with two children cannot be a sort unit (arity 1).
+        resolved = ResolvedOp(PhysicalOp.SORT, {"Sort Key": "x"}, "Sort")
+        out, children = fit_arity(resolved, ["a", "b"], self._make_node)
+        assert out.fallback
+        assert out.op is PhysicalOp.NESTED_LOOP
+        assert out.props[UNKNOWN_OP_PROP] == "Sort"
+        assert out.props["Sort Key"] == "x"  # original props survive
+        assert children == ["a", "b"]
+
+    def test_wide_nodes_binarize_left_deep(self):
+        resolved = ResolvedOp(PhysicalOp.NESTED_LOOP, {}, "nested_loop")
+        out, children = fit_arity(
+            resolved, ["t1", "t2", "t3", "t4"], self._make_node
+        )
+        assert out is resolved  # binary after binarization: identity kept
+        assert len(children) == 2
+        left, last = children
+        assert last == "t4"
+        # ((t1 join t2) join t3)
+        assert left["op"] is PhysicalOp.NESTED_LOOP
+        assert left["children"][0]["children"] == ["t1", "t2"]
+        assert left["children"][1] == "t3"
+
+    def test_arities_match_unit_registry(self):
+        for op in FALLBACK_BY_ARITY.values():
+            assert arity_of(logical_type_of(op)) in (0, 1, 2)
+
+
+class TestRegistry:
+    def test_known_engines(self):
+        assert {"postgres", "duckdb", "mysql"} <= set(known_engines())
+
+    def test_unknown_engine_is_a_dialect_error(self):
+        with pytest.raises(DialectError) as excinfo:
+            vocabulary_for("oracle")
+        assert "oracle" in str(excinfo.value)
+
+    def test_register_and_replace(self):
+        custom = OperatorVocabulary(
+            "unit-test-engine", {"SCAN": OperatorRule(PhysicalOp.SEQ_SCAN)}
+        )
+        register_vocabulary(custom)
+        try:
+            assert vocabulary_for("unit-test-engine") is custom
+            assert "SCAN" in custom
+        finally:
+            import repro.ingest.vocab as vocab_module
+
+            vocab_module._REGISTRY.pop("unit-test-engine", None)
+        with pytest.raises(DialectError):
+            vocabulary_for("unit-test-engine")

@@ -40,6 +40,32 @@ class TestExplainText:
         lines = explain_text(analyzed_plan).splitlines()
         assert any(line.lstrip().startswith("->") for line in lines[1:])
 
+    @pytest.mark.parametrize(
+        ("strategy", "rendered"),
+        [
+            ("hashed", "HashedAggregate"),
+            ("sorted", "SortedAggregate"),
+            ("mixed", "MixedAggregate"),
+        ],
+    )
+    def test_every_non_plain_strategy_renders(self, strategy, rendered):
+        node = PlanNode(
+            PhysicalOp.AGGREGATE,
+            {"Strategy": strategy, "Total Cost": 1.0, "Plan Rows": 1},
+            [PlanNode(PhysicalOp.SEQ_SCAN,
+                      {"Relation Name": "t", "Total Cost": 1.0, "Plan Rows": 1})],
+        )
+        assert rendered in explain_text(node)
+
+    def test_plain_strategy_stays_bare(self):
+        node = PlanNode(
+            PhysicalOp.AGGREGATE,
+            {"Strategy": "plain", "Total Cost": 1.0, "Plan Rows": 1},
+        )
+        text = explain_text(node)
+        assert "PlainAggregate" not in text
+        assert "Aggregate" in text
+
 
 class TestExplainJson:
     def test_roundtrip(self, analyzed_plan):
@@ -54,6 +80,29 @@ class TestExplainJson:
     def test_parse_rejects_garbage(self):
         with pytest.raises(ValueError):
             parse_explain_json('{"not": "a plan"}')
+
+    def test_parse_rejects_non_explain_payloads_typed(self):
+        for payload in ('{"not": "a plan"}', "[]", '[{"no": "plan"}]', "42"):
+            with pytest.raises(PlanValidationError):
+                parse_explain_json(payload)
+
+    def test_parse_validates_by_default(self, analyzed_plan):
+        # An unknown operator name is a malformed tree, typed.
+        text = explain_json(analyzed_plan).replace(
+            analyzed_plan.op.value, "Alien Scan", 1
+        )
+        with pytest.raises(PlanValidationError, match="malformed plan tree"):
+            parse_explain_json(text)
+
+    def test_parse_validates_structure(self):
+        # Structurally parseable but invariant-breaking: a join with no
+        # children fails validate_plan at the parse boundary...
+        doc = '[{"Plan": {"Node Type": "Hash Join", "Join Type": "inner"}}]'
+        with pytest.raises(PlanValidationError):
+            parse_explain_json(doc)
+        # ...unless the caller opts out and validates downstream.
+        root = parse_explain_json(doc, validate=False)
+        assert root.op is PhysicalOp.HASH_JOIN
 
 
 class TestValidation:
