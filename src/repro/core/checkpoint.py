@@ -227,6 +227,80 @@ def load_checkpoint(path: PathLike) -> Checkpoint:
     )
 
 
+def atomic_write_json(path: PathLike, payload: Any) -> Path:
+    """Durably publish one JSON document with the checkpoint pattern.
+
+    Same temp + fsync + ``os.replace`` + directory-fsync dance as
+    :func:`save_checkpoint`, for small JSON state (drift snapshots,
+    lifecycle manifests).  The document wraps the payload with a sha256
+    of its canonical serialization, so :func:`load_verified_json` can
+    tell a torn or bit-rotted file from a good one.  A crash mid-write
+    leaves only a dot-tmp file, which readers never see; the previous
+    published document survives intact.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    document = json.dumps(
+        {"sha256": hashlib.sha256(canonical.encode("utf-8")).hexdigest(),
+         "payload": payload}
+    )
+    temp_path = path.parent / f".{path.name}.tmp"
+    try:
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            handle.write(document)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        temp_path.unlink(missing_ok=True)
+        raise
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        pass
+    else:
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    return path
+
+
+def load_verified_json(path: PathLike) -> Any:
+    """Load a document published by :func:`atomic_write_json`.
+
+    Raises ``FileNotFoundError`` when the file is absent outright and
+    :class:`CheckpointCorruptError` when it exists but cannot be trusted
+    (unparseable, missing digest, digest mismatch) — JSON round-trips
+    floats exactly, so re-deriving the canonical form is a faithful
+    integrity check.
+    """
+    path = Path(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+    except UnicodeDecodeError as error:
+        # Bit rot can land mid-codepoint: undecodable bytes are corruption,
+        # not a caller error.
+        raise CheckpointCorruptError(path, f"undecodable bytes: {error}") from error
+    try:
+        document = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise CheckpointCorruptError(path, f"unparseable JSON: {error}") from error
+    if not isinstance(document, dict) or "sha256" not in document or "payload" not in document:
+        raise CheckpointCorruptError(path, "not an atomic_write_json document")
+    payload = document["payload"]
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    if digest != document["sha256"]:
+        raise CheckpointCorruptError(
+            path, f"payload digest mismatch (file {document['sha256'][:16]}, "
+            f"computed {digest[:16]})"
+        )
+    return payload
+
+
 def list_checkpoints(directory: PathLike) -> list[Path]:
     """All published checkpoint files under ``directory``, oldest first.
 

@@ -34,6 +34,7 @@ thread-safe, so it can sit directly on the serving hot path.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from collections import deque
 from dataclasses import dataclass
@@ -125,6 +126,12 @@ class DriftReport:
     unseen_rate: float
     #: Distinct unseen signatures observed since the last reset.
     unseen_signatures: int
+    #: Non-finite / non-positive outcomes dropped by :meth:`observe`
+    #: since the last reset.  The poller feeding the monitor must never
+    #: die on one bad record, so bad feedback degrades to this typed
+    #: counter instead of an exception (caller-facing misuse still
+    #: raises at the recording site, ``record_outcome``).
+    rejected_outcomes: int = 0
 
 
 class PageHinkley:
@@ -169,6 +176,21 @@ class PageHinkley:
     @property
     def triggered(self) -> bool:
         return self.statistic > self.threshold
+
+    def state_dict(self) -> dict:
+        """JSON-able exact state (floats round-trip exactly via JSON)."""
+        return {
+            "n": self._n,
+            "mean": self._mean,
+            "cum": self._cum,
+            "min_cum": self._min_cum,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._n = int(state["n"])
+        self._mean = float(state["mean"])
+        self._cum = float(state["cum"])
+        self._min_cum = float(state["min_cum"])
 
 
 class DriftMonitor:
@@ -232,6 +254,7 @@ class DriftMonitor:
     def _reset_locked(self) -> None:
         t = self.thresholds
         self._observations = 0
+        self._rejected = 0
         self._ewma = self._baseline
         self._ph = PageHinkley(delta=t.ph_delta, threshold=t.ph_threshold)
         self._unseen_window: deque[bool] = deque(maxlen=t.unseen_window)
@@ -247,14 +270,24 @@ class DriftMonitor:
 
         ``signature`` (the plan's structure signature) is optional; when
         omitted the unseen-structure detector simply skips the sample.
+
+        A non-finite or non-positive outcome is *dropped*, not raised:
+        this method sits inside lifecycle poller loops, where one bad
+        journal record must not kill the thread.  Drops are counted in
+        ``DriftReport.rejected_outcomes``; the caller-facing recording
+        site (``PredictionService.record_outcome``) still raises typed
+        ``OutcomeError`` on misuse, so bad feedback is rejected loudly
+        where a caller can fix it and quietly where only a counter can.
         """
-        predicted = float(predicted_ms)
-        observed = float(observed_ms)
+        try:
+            predicted = float(predicted_ms)
+            observed = float(observed_ms)
+        except (TypeError, ValueError):
+            predicted = observed = float("nan")
         if not np.isfinite(predicted) or not np.isfinite(observed) or observed <= 0:
-            raise ValueError(
-                f"outcomes must be finite with observed > 0, got "
-                f"predicted={predicted_ms!r} observed={observed_ms!r}"
-            )
+            with self._lock:
+                self._rejected += 1
+            return
         rel = abs(observed - predicted) / observed
         alpha = self.thresholds.ewma_alpha
         with self._lock:
@@ -277,6 +310,7 @@ class DriftMonitor:
         t = self.thresholds
         with self._lock:
             n = self._observations
+            rejected = self._rejected
             ewma = self._ewma
             ph_stat = self._ph.statistic
             ph_hit = self._ph.triggered
@@ -306,6 +340,7 @@ class DriftMonitor:
             ph_threshold=t.ph_threshold,
             unseen_rate=unseen_rate,
             unseen_signatures=distinct_unseen,
+            rejected_outcomes=rejected,
         )
 
     def reset(
@@ -339,3 +374,66 @@ class DriftMonitor:
     def known_signatures(self) -> frozenset:
         with self._lock:
             return frozenset(self._known)
+
+    # ------------------------------------------------------------------
+    # Persistence (crash-safe serving state)
+    # ------------------------------------------------------------------
+    #: Bump when the state layout changes incompatibly.
+    STATE_FORMAT_VERSION = 1
+
+    def state_dict(self) -> dict:
+        """Complete detector state as a JSON-able dict.
+
+        Exact by construction: every float survives a JSON round trip
+        bitwise (``repr``-based encoding), the Page–Hinkley statistic is
+        four scalars, and the unseen window is a list of booleans — so a
+        monitor rebuilt via :meth:`load_state_dict` continues *identically*
+        to one that never stopped.  Sets are serialized sorted for
+        deterministic bytes (atomic snapshot digests compare equal across
+        runs).
+        """
+        with self._lock:
+            return {
+                "format": self.STATE_FORMAT_VERSION,
+                "baseline_rel_error": self._baseline,
+                "observations": self._observations,
+                "rejected_outcomes": self._rejected,
+                "ewma_rel_error": self._ewma,
+                "page_hinkley": self._ph.state_dict(),
+                "unseen_window": [bool(b) for b in self._unseen_window],
+                "unseen_signatures": sorted(self._unseen_signatures),
+                "known_signatures": sorted(self._known),
+                "thresholds": dataclasses.asdict(self.thresholds),
+            }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` (in place)."""
+        if state.get("format") != self.STATE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported DriftMonitor state format {state.get('format')!r} "
+                f"(expected {self.STATE_FORMAT_VERSION})"
+            )
+        thresholds = DriftThresholds(**state["thresholds"])
+        with self._lock:
+            self.thresholds = thresholds
+            self._baseline = float(state["baseline_rel_error"])
+            self._known = set(state["known_signatures"])
+            self._observations = int(state["observations"])
+            self._rejected = int(state.get("rejected_outcomes", 0))
+            self._ewma = float(state["ewma_rel_error"])
+            self._ph = PageHinkley(
+                delta=thresholds.ph_delta, threshold=thresholds.ph_threshold
+            )
+            self._ph.load_state_dict(state["page_hinkley"])
+            self._unseen_window = deque(
+                (bool(b) for b in state["unseen_window"]),
+                maxlen=thresholds.unseen_window,
+            )
+            self._unseen_signatures = set(state["unseen_signatures"])
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "DriftMonitor":
+        """Rebuild a monitor from a persisted snapshot."""
+        monitor = cls(float(state["baseline_rel_error"]))
+        monitor.load_state_dict(state)
+        return monitor

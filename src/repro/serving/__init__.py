@@ -172,8 +172,61 @@ Illegal jumps raise
 :class:`~repro.serving.resilience.InvalidLifecycleTransition`; all
 lifecycle failures are :class:`~repro.serving.resilience
 .LifecycleError`, itself a :class:`ServiceError`.
+
+Durability contract
+-------------------
+``serving.journal`` + ``serving.recovery`` make the serve→observe→
+retrain loop survive process death.  One *state directory* holds
+everything: an append-only, segment-rotated, per-record-checksummed
+outcome journal (``journal/``), a periodic atomic drift-monitor
+snapshot (``drift.json``), retrain checkpoints (``checkpoints/``),
+versioned model bundles (``models/``) and one atomically-replaced
+manifest (``manifest.json``) tying them together.
+:meth:`~repro.serving.recovery.ServiceRecovery.create` arms it on first
+boot; after a crash :meth:`~repro.serving.recovery.ServiceRecovery
+.recover` rebuilds the full stack from the directory alone.
+
+**What survives a crash at any instant:**
+
+* every outcome record whose journal frame was fsynced (batched — at
+  most ``fsync_every - 1`` recent records ride only in the page cache);
+  replay order is append order, and sequence numbering continues where
+  the dead process stopped;
+* the drift detectors *exactly*: the snapshot stores EWMA,
+  Page–Hinkley scalars and the unseen-structure window as JSON (floats
+  round-trip bitwise), and recovery replays only the journal suffix
+  past the snapshot cursor through the restored monitor — after the
+  recovery poll, detector state is identical to a process that never
+  died;
+* an interrupted fine-tune: recovery lands back in ``retraining``,
+  training samples re-derive deterministically from the replayed
+  journal, and the next ``retrain()`` resumes bitwise from the cycle's
+  last checkpoint;
+* the live model pointer: promotion saves the candidate's bundle to a
+  fresh versioned directory *before* the swap and republishes the
+  manifest after, so the manifest only ever names complete bundles.
+
+**Torn and rotten disk state degrades, never raises:** a torn final
+record is truncated away, a record whose CRC fails is skipped, a
+segment with a bad header is quarantined (renamed ``*.corrupt``), a
+failed ``fsync``/write closes the journal into its ``io_errors``
+counter, a failed snapshot or manifest write increments
+``snapshot_errors``/``manifest_errors`` — all surfaced as typed
+counters on :class:`~repro.serving.journal.ReplayResult` and the
+:class:`~repro.serving.recovery.RecoveryReport`.  Only unrecoverable
+damage (missing/corrupt manifest, unloadable bundle) raises
+:class:`~repro.serving.resilience.RecoveryError`.
+
+**Lost by design:** un-fsynced tail records; in-memory shadow evidence
+(a crash in ``shadow`` recovers into ``retraining`` — the candidate is
+re-derivable from checkpoints, its disagreement journal is not); the
+post-promotion rollback target (a crash in ``promoted`` settles to
+``live`` on whichever bundle the manifest last named); and outcomes
+evicted before the poller saw them, which are counted
+(``outcomes_lost``) rather than silently skipped.
 """
 
+from .journal import OutcomeJournal, ReplayResult
 from .registry import ModelRegistry
 from .resilience import (
     CircuitBreaker,
@@ -182,12 +235,14 @@ from .resilience import (
     FallbackChain,
     InvalidLifecycleTransition,
     InvalidPlanError,
+    JournalError,
     LifecycleError,
     LifecycleState,
     NonFinitePrediction,
     OutcomeError,
     PredictionSettledError,
     PromotionError,
+    RecoveryError,
     ResiliencePolicy,
     ServiceError,
     default_fallback_chain,
@@ -208,13 +263,20 @@ from .session import InferenceSession, SessionStats
 
 # Imported last: lifecycle pulls in repro.evaluation (drift), whose
 # package __init__ imports back into repro.serving — by now every name
-# it needs is bound, so the cycle resolves.
+# it needs is bound, so the cycle resolves.  recovery builds on
+# lifecycle, so it comes after.
 from .lifecycle import (
     LifecycleConfig,
     LifecycleManager,
     ShadowLog,
     ShadowReport,
     ShadowSession,
+)
+from .recovery import (
+    DurableLifecycleManager,
+    RecoveredStack,
+    RecoveryReport,
+    ServiceRecovery,
 )
 
 __all__ = [
@@ -251,4 +313,12 @@ __all__ = [
     "ShadowSession",
     "ShadowLog",
     "ShadowReport",
+    "OutcomeJournal",
+    "ReplayResult",
+    "JournalError",
+    "RecoveryError",
+    "ServiceRecovery",
+    "RecoveredStack",
+    "RecoveryReport",
+    "DurableLifecycleManager",
 ]

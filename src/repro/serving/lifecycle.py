@@ -45,6 +45,7 @@ from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.checkpoint import atomic_write_json
 from repro.core.trainer import TrainingHistory, fine_tune
 from repro.evaluation.drift import DriftMonitor, DriftReport
 from repro.plans.node import PlanNode
@@ -278,6 +279,13 @@ class LifecycleConfig:
     epoch_hook: Optional[Callable[[int], None]] = None
     #: Bound on the shadow disagreement journal.
     shadow_log_size: int = 4096
+    #: Where :meth:`LifecycleManager.poll` atomically snapshots the
+    #: drift monitor's state (``None`` disables snapshots).  With a
+    #: snapshot on disk, crash recovery replays only the outcome-journal
+    #: suffix past the snapshot's cursor instead of the whole journal.
+    drift_snapshot_path: Optional[Union[str, os.PathLike]] = None
+    #: Snapshot cadence: one atomic write per this many consumed outcomes.
+    drift_snapshot_every: int = 64
 
     def __post_init__(self) -> None:
         if self.fine_tune_epochs < 1:
@@ -294,6 +302,8 @@ class LifecycleConfig:
             raise ValueError("poll_interval_s must be positive")
         if self.cooldown_s < 0:
             raise ValueError("cooldown_s must be >= 0")
+        if self.drift_snapshot_every < 1:
+            raise ValueError("drift_snapshot_every must be >= 1")
 
 
 class LifecycleManager:
@@ -351,7 +361,10 @@ class LifecycleManager:
         self._lock = threading.RLock()
         self._state = LifecycleState.LIVE
         self._cycle = 0
-        self._cursor = 0  # last outcome seq fed to the monitor
+        self._cursor = 0  # last outcome seq fed to (or skipped past) the monitor
+        self._outcomes_lost = 0  # journal records evicted before we polled them
+        self._since_snapshot = 0  # outcomes consumed since the last drift snapshot
+        self._snapshot_errors = 0  # swallowed snapshot-write failures
         self._cooldown_until = 0.0
         self._candidate: Optional[InferenceSession] = None
         self._trained_signatures: frozenset = frozenset()
@@ -378,6 +391,25 @@ class LifecycleManager:
         with self._lock:
             return self._cycle
 
+    @property
+    def cursor(self) -> int:
+        """Last outcome sequence number consumed (or skipped) by poll."""
+        with self._lock:
+            return self._cursor
+
+    @property
+    def outcomes_lost(self) -> int:
+        """Outcomes evicted from the in-memory log before being polled
+        (the poller fell more than the log's ``maxlen`` behind)."""
+        with self._lock:
+            return self._outcomes_lost
+
+    @property
+    def snapshot_errors(self) -> int:
+        """Drift-snapshot write failures swallowed by :meth:`poll`."""
+        with self._lock:
+            return self._snapshot_errors
+
     def _transition(self, new: str, detail: str = "") -> None:
         # Caller holds self._lock.
         self._state = LifecycleState.check(self._state, new)
@@ -393,11 +425,21 @@ class LifecycleManager:
         """Feed outcomes journaled since the last poll to the monitor.
 
         Also joins each outcome against the shadow log while a candidate
-        is shadow-serving (accumulating both models' observed error).
-        Returns the monitor's fresh report.
+        is shadow-serving (accumulating both models' observed error),
+        accounts any evicted gap in ``outcomes_lost`` (a poller that
+        fell behind must not mistake missed news for no news), and —
+        when ``drift_snapshot_path`` is configured — atomically
+        snapshots the monitor's state every ``drift_snapshot_every``
+        consumed outcomes so crash recovery only replays the journal
+        suffix past the snapshot.  Returns the monitor's fresh report.
         """
         with self._lock:
-            records = self.service.outcomes.since(self._cursor)
+            records, dropped = self.service.outcomes.since(self._cursor)
+            if dropped:
+                # The gap is permanent: advance past it exactly once so
+                # it is never re-counted on the next poll.
+                self._outcomes_lost += dropped
+                self._cursor += dropped
             for rec in records:
                 self._cursor = rec.seq
                 self.monitor.observe(rec.predicted_ms, rec.observed_ms, rec.signature)
@@ -412,7 +454,51 @@ class LifecycleManager:
                         self._eval_candidate_err += (
                             abs(rec.observed_ms - candidate_ms) / rec.observed_ms
                         )
+            self._since_snapshot += len(records)
+            if (
+                self.config.drift_snapshot_path is not None
+                and self._since_snapshot >= self.config.drift_snapshot_every
+            ):
+                self.snapshot_drift()
             return self.monitor.report()
+
+    def snapshot_drift(self) -> bool:
+        """Atomically persist the drift state now; ``True`` on success.
+
+        Temp + fsync + rename via :func:`repro.core.checkpoint
+        .atomic_write_json`; a failed write is swallowed into
+        ``snapshot_errors`` (the poller must survive a sick disk — the
+        previous snapshot stays valid, replay just covers more journal).
+        On success, on-disk journal segments wholly behind both the
+        snapshot cursor and the in-memory retention window are pruned.
+        """
+        path = self.config.drift_snapshot_path
+        if path is None:
+            return False
+        with self._lock:
+            payload = {
+                "format": 1,
+                "cursor": self._cursor,
+                "outcomes_lost": self._outcomes_lost,
+                "monitor": self.monitor.state_dict(),
+            }
+            try:
+                atomic_write_json(path, payload)
+            except Exception:
+                self._snapshot_errors += 1
+                return False
+            self._since_snapshot = 0
+            log = self.service.outcomes
+            journal = getattr(log, "journal", None)
+            if journal is not None:
+                # Replay needs the suffix past the cursor (drift) and
+                # the newest maxlen records (log restore / retraining).
+                keep_from = min(self._cursor, max(0, log.total - log.maxlen))
+                try:
+                    journal.prune(keep_from)
+                except Exception:
+                    pass  # retention is best-effort; replay stays correct
+            return True
 
     # ------------------------------------------------------------------
     # Stage 2: retrain (durable)
@@ -683,6 +769,48 @@ class LifecycleManager:
                 if now >= self._cooldown_until:
                     self._transition(LifecycleState.LIVE, "cooldown elapsed")
             return report
+
+    # ------------------------------------------------------------------
+    # Recovery seam
+    # ------------------------------------------------------------------
+    def restore_progress(
+        self, *, state: Optional[str] = None, cycle: Optional[int] = None,
+        cursor: Optional[int] = None, outcomes_lost: Optional[int] = None,
+    ) -> None:
+        """Adopt durable progress after a cold restart (recovery only).
+
+        Directly installs the persisted lifecycle state, cycle count and
+        outcome cursor — deliberately *bypassing* the transition check,
+        because recovery is not a transition: the process resumes where
+        the durable record says the dead one was.  Only states a restart
+        can legitimately land in are accepted (``live``, ``retraining``,
+        ``demoted``; :class:`~repro.serving.recovery.ServiceRecovery`
+        maps ``shadow``/``promoted`` onto those first, since in-memory
+        shadow evidence does not survive a crash by design).
+        """
+        with self._lock:
+            if state is not None:
+                if state not in (
+                    LifecycleState.LIVE,
+                    LifecycleState.RETRAINING,
+                    LifecycleState.DEMOTED,
+                ):
+                    raise LifecycleError(
+                        f"cannot restore into state {state!r}: a restarted "
+                        "process holds no candidate or shadow evidence"
+                    )
+                self._state = state
+                self.events.append((state, "restored from durable state"))
+            if cycle is not None:
+                if cycle < 0:
+                    raise LifecycleError("cycle must be >= 0")
+                self._cycle = int(cycle)
+            if cursor is not None:
+                if cursor < 0:
+                    raise LifecycleError("cursor must be >= 0")
+                self._cursor = int(cursor)
+            if outcomes_lost is not None:
+                self._outcomes_lost = int(outcomes_lost)
 
     # ------------------------------------------------------------------
     # Background operation

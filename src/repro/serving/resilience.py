@@ -154,6 +154,22 @@ class OutcomeError(ServiceError):
     """
 
 
+class JournalError(ServiceError):
+    """Misconfiguration of the on-disk outcome journal (bad segment
+    size / flush interval).  Runtime I/O failures are deliberately *not*
+    raised — :class:`~repro.serving.journal.OutcomeJournal` degrades to
+    its ``io_errors`` counter so a sick disk never kills serving."""
+
+
+class RecoveryError(ServiceError):
+    """A cold restart could not rebuild the serving stack.
+
+    Raised by :class:`~repro.serving.recovery.ServiceRecovery` when the
+    state directory's manifest is missing, unverifiable, or names model
+    bundles that cannot be loaded.  Journal/snapshot damage never raises
+    — it degrades to the typed counters on the recovery report."""
+
+
 class LifecycleError(ServiceError):
     """Base class for model-lifecycle failures (retrain/shadow/promote)."""
 

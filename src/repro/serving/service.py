@@ -49,6 +49,7 @@ from typing import Callable, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.model import QPPNet
+from repro.ingest.vocab import UNKNOWN_OP_PROP
 from repro.plans.node import PlanNode
 from repro.plans.validate import PlanValidationError, validate_plan
 
@@ -280,6 +281,13 @@ class ServiceStats:
     #: ``Prediction.observe``); the journal itself keeps only the most
     #: recent ``OUTCOME_LOG_SIZE``.
     outcomes_recorded: int = 0
+    #: Completed requests whose plan carried at least one
+    #: fallback-degraded operator (an ingested node that missed the
+    #: engine vocabulary and was served through an arity-matched
+    #: neutral unit — marked by ``repro.ingest.vocab.UNKNOWN_OP_PROP``).
+    #: The serving-side vocabulary-coverage gauge: a rising fraction
+    #: means the live workload outgrew the operator taxonomy.
+    fallback_unit_plans: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -320,15 +328,27 @@ class OutcomeLog:
 
     Appends assign a journal-wide sequence number under the log's own
     lock; readers get consistent snapshots.  ``since(seq)`` returns the
-    records appended after ``seq`` that are still retained — a poller
-    that falls more than ``maxlen`` behind silently loses the evicted
-    prefix (by design: the journal bounds memory, not history).
+    records appended after ``seq`` that are still retained plus an
+    explicit count of the ones already evicted — a poller that falls
+    more than ``maxlen`` behind can tell "no news" from "missed news"
+    (the deque bounds memory, not history).
+
+    With a ``journal`` attached (an
+    :class:`~repro.serving.journal.OutcomeJournal`), every appended
+    record is also framed and written to disk *under this log's lock*,
+    so on-disk order always equals sequence order and
+    ``Prediction.observe`` becomes durable — the submit/predict hot
+    path is untouched, and journal I/O failures degrade to the
+    journal's ``io_errors`` counter, never an exception out of
+    ``record``.
     """
 
-    def __init__(self, maxlen: int = OUTCOME_LOG_SIZE) -> None:
+    def __init__(self, maxlen: int = OUTCOME_LOG_SIZE, *, journal=None) -> None:
         if maxlen < 1:
             raise ValueError("maxlen must be >= 1")
         self.maxlen = maxlen
+        #: Optional write-ahead journal (duck-typed: ``append(record)``).
+        self.journal = journal
         self._lock = threading.Lock()
         self._records: deque[OutcomeRecord] = deque(maxlen=maxlen)
         self._total = 0
@@ -354,7 +374,23 @@ class OutcomeLog:
                 plan=plan,
             )
             self._records.append(rec)
+            if self.journal is not None:
+                self.journal.append(rec)
         return rec
+
+    def restore(self, records: Sequence[OutcomeRecord]) -> None:
+        """Adopt replayed records as this log's history (recovery only).
+
+        Replaces the retained window with the newest ``maxlen`` of
+        ``records`` and fast-forwards the sequence counter to the
+        highest replayed ``seq``, so post-restart appends continue the
+        same numbering.  Records are *not* re-journaled — they are
+        already durable; call before serving starts.
+        """
+        with self._lock:
+            self._records.clear()
+            self._records.extend(records)
+            self._total = max((rec.seq for rec in records), default=0)
 
     @property
     def total(self) -> int:
@@ -371,10 +407,17 @@ class OutcomeLog:
         with self._lock:
             return list(self._records)
 
-    def since(self, seq: int) -> list[OutcomeRecord]:
-        """Retained records with ``rec.seq > seq``, oldest first."""
+    def since(self, seq: int) -> tuple[list[OutcomeRecord], int]:
+        """``(records, dropped)``: retained records with ``rec.seq >
+        seq`` oldest first, plus how many records after ``seq`` were
+        already evicted before this call.  ``dropped`` is the gap a
+        lagging consumer must account for (e.g. the lifecycle poller's
+        ``outcomes_lost`` counter); ``0`` means a complete read."""
         with self._lock:
-            return [rec for rec in self._records if rec.seq > seq]
+            records = [rec for rec in self._records if rec.seq > seq]
+            evicted = self._total - len(self._records)
+            dropped = max(0, evicted - max(seq, 0))
+        return records, dropped
 
 
 # ----------------------------------------------------------------------
@@ -430,6 +473,7 @@ class PredictionService:
         admission_hook: Optional[AdmissionHook] = None,
         resilience: Optional[ResiliencePolicy] = None,
         outcome_log_size: int = OUTCOME_LOG_SIZE,
+        outcomes: Optional[OutcomeLog] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -459,7 +503,9 @@ class PredictionService:
         self.resilience = resilience if resilience is not None else ResiliencePolicy()
         #: Observed-latency journal fed by ``record_outcome`` /
         #: ``Prediction.observe`` (its own lock; never under self._lock).
-        self.outcomes = OutcomeLog(outcome_log_size)
+        #: Pass ``outcomes=`` to share a pre-built log — the recovery
+        #: path hands in one restored from the on-disk journal.
+        self.outcomes = outcomes if outcomes is not None else OutcomeLog(outcome_log_size)
 
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -488,6 +534,7 @@ class PredictionService:
         self._poison_isolated = 0
         self._fallback_completed = 0
         self._breaker_rejected = 0
+        self._fallback_unit_plans = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -784,6 +831,7 @@ class PredictionService:
             poison_isolated = self._poison_isolated
             fallback_completed = self._fallback_completed
             breaker_rejected = self._breaker_rejected
+            fallback_unit_plans = self._fallback_unit_plans
             breakers = dict(self._breakers)
         p50, p99 = 0.0, 0.0
         if latencies:
@@ -821,6 +869,7 @@ class PredictionService:
             breaker_rejected=breaker_rejected,
             breaker_states={name: b.state for name, b in breakers.items()},
             outcomes_recorded=self.outcomes.total,
+            fallback_unit_plans=fallback_unit_plans,
         )
 
     # ------------------------------------------------------------------
@@ -1168,9 +1217,20 @@ class PredictionService:
     def _complete_requests(self, completed: list[tuple[Prediction, float]]) -> None:
         if not completed:
             return
+        # Vocabulary-coverage gauge: how many served plans carry at
+        # least one ingest-fallback-degraded operator.  Counted here
+        # (off the submit path, in the drain loop) by scanning for the
+        # provenance property the ingest vocabulary stamps on degraded
+        # nodes.
+        degraded = sum(
+            1
+            for request, _ in completed
+            if any(UNKNOWN_OP_PROP in node.props for node in request.plan.preorder())
+        )
         now = time.monotonic()
         with self._lock:
             self._completed += len(completed)
+            self._fallback_unit_plans += degraded
             self._latencies_ms.extend(
                 (now - request.submitted_at) * 1e3 for request, _ in completed
             )

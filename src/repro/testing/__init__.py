@@ -14,7 +14,12 @@ layers lives here, so faults are injected the same way everywhere:
 * :class:`~repro.testing.faults.LatencyDrift` — wraps a
   :class:`~repro.engine.simulator.Simulator` and scales executed
   latencies (returned and annotated) by a factor from a chosen call on:
-  deterministic synthetic drift for the model-lifecycle drills.
+  deterministic synthetic drift for the model-lifecycle drills;
+* :func:`~repro.testing.faults.torn_tail`,
+  :func:`~repro.testing.faults.flip_byte`,
+  :func:`~repro.testing.faults.failing_fsync` — disk-fault injectors for
+  the durability drills: tear the final bytes off a journal segment,
+  bit-rot one byte, or make ``fsync`` raise on chosen calls.
 """
 
 from .faults import (
@@ -22,8 +27,11 @@ from .faults import (
     InjectedFault,
     LatencyDrift,
     SimulatedCrash,
+    failing_fsync,
+    flip_byte,
     kill_at_epoch,
     raise_on_calls,
+    torn_tail,
 )
 
 __all__ = [
@@ -31,6 +39,9 @@ __all__ = [
     "InjectedFault",
     "LatencyDrift",
     "SimulatedCrash",
+    "failing_fsync",
+    "flip_byte",
     "kill_at_epoch",
     "raise_on_calls",
+    "torn_tail",
 ]

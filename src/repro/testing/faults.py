@@ -7,10 +7,13 @@ chaos test that fails replays identically under the same seed.
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.plans.node import PlanNode
+
+PathLike = Union[str, "os.PathLike[str]"]
 
 
 class InjectedFault(RuntimeError):
@@ -67,6 +70,60 @@ def raise_on_calls(
         return fn(*args, **kwargs)
 
     return wrapped
+
+
+def torn_tail(path: PathLike, drop_bytes: int) -> int:
+    """Simulate a torn final write: truncate ``drop_bytes`` off the file.
+
+    The canonical crash-mid-append disk state — the last record's frame
+    or payload is only partially on disk.  Returns the file's new size.
+    """
+    if drop_bytes < 0:
+        raise ValueError("drop_bytes must be >= 0")
+    size = os.path.getsize(path)
+    new_size = max(0, size - drop_bytes)
+    os.truncate(path, new_size)
+    return new_size
+
+
+def flip_byte(path: PathLike, offset: int) -> int:
+    """Simulate bit rot: XOR the byte at ``offset`` with ``0xFF``.
+
+    Negative offsets count from the end of the file (``-1`` is the last
+    byte).  Flipping a payload byte makes exactly one journal record's
+    CRC fail; flipping inside a segment header corrupts the whole
+    segment.  Returns the absolute offset that was flipped.
+    """
+    size = os.path.getsize(path)
+    if offset < 0:
+        offset += size
+    if not 0 <= offset < size:
+        raise ValueError(f"offset {offset} outside file of {size} bytes")
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    return offset
+
+
+def failing_fsync(
+    calls: Iterable[int] = (),
+    every: int = 0,
+    error: Optional[Callable[[], BaseException]] = None,
+) -> Callable[[int], None]:
+    """An ``os.fsync`` stand-in that fails on chosen invocations.
+
+    Plugs into :class:`~repro.serving.journal.OutcomeJournal`'s
+    ``fsync_fn`` seam (the sick-disk drill: durability must degrade to
+    the ``io_errors`` counter, never to an unhandled exception).
+    ``calls`` names exact 1-based call numbers; ``every`` additionally
+    fails every Nth call; ``error`` builds the exception (default
+    ``OSError(EIO)``).  Successful calls delegate to the real
+    ``os.fsync``.
+    """
+    make_error = error or (lambda: OSError(5, "injected fsync failure"))
+    return raise_on_calls(os.fsync, calls=calls, every=every, error=make_error)
 
 
 class FaultySession:

@@ -11,10 +11,12 @@ from repro.core import QPPNet, QPPNetConfig, Trainer
 from repro.core.checkpoint import (
     CheckpointCorruptError,
     CheckpointError,
+    atomic_write_json,
     checkpoint_name,
     latest_valid_checkpoint,
     list_checkpoints,
     load_checkpoint,
+    load_verified_json,
     prune_checkpoints,
     save_checkpoint,
 )
@@ -236,3 +238,63 @@ class TestResume:
         _, trainer = fresh_trainer(featurizer, config)
         with pytest.raises(ValueError):
             trainer.fit(corpus, checkpoint_dir=str(tmp_path), checkpoint_every=-1)
+
+
+class TestAtomicJson:
+    """atomic_write_json / load_verified_json: the primitive under the
+    lifecycle manifest and drift snapshots (ISSUE 10)."""
+
+    PAYLOAD = {
+        "format": 1,
+        "cursor": 48,
+        "ewma": 0.12345678901234567,  # floats must survive bitwise
+        "names": ["a", "b"],
+    }
+
+    def test_round_trip_is_exact(self, tmp_path):
+        path = atomic_write_json(tmp_path / "state.json", self.PAYLOAD)
+        assert path == tmp_path / "state.json"
+        loaded = load_verified_json(path)
+        assert loaded == self.PAYLOAD
+        assert loaded["ewma"] == self.PAYLOAD["ewma"]  # bitwise float
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_verified_json(tmp_path / "absent.json")
+
+    def test_digest_mismatch_detected(self, tmp_path):
+        path = atomic_write_json(tmp_path / "state.json", self.PAYLOAD)
+        raw = path.read_text()
+        path.write_text(raw.replace('"cursor": 48', '"cursor": 99'))
+        with pytest.raises(CheckpointCorruptError, match="digest mismatch"):
+            load_verified_json(path)
+
+    def test_undecodable_bytes_are_corruption_not_a_crash(self, tmp_path):
+        path = atomic_write_json(tmp_path / "state.json", self.PAYLOAD)
+        data = bytearray(path.read_bytes())
+        data[-10] ^= 0xFF  # may land mid-codepoint: still CheckpointError
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointCorruptError):
+            load_verified_json(path)
+
+    def test_unparseable_and_foreign_documents_rejected(self, tmp_path):
+        bad = tmp_path / "junk.json"
+        bad.write_text("{not json")
+        with pytest.raises(CheckpointCorruptError, match="unparseable"):
+            load_verified_json(bad)
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text(json.dumps({"payload": {"x": 1}}))  # no digest
+        with pytest.raises(CheckpointCorruptError, match="not an atomic"):
+            load_verified_json(foreign)
+
+    def test_crash_mid_write_leaves_previous_document(self, tmp_path):
+        path = atomic_write_json(tmp_path / "state.json", self.PAYLOAD)
+        # Death between temp-write and rename: readers never see the tmp.
+        (tmp_path / ".state.json.tmp").write_bytes(b"\x00torn")
+        assert load_verified_json(path) == self.PAYLOAD
+
+    def test_overwrite_replaces_atomically(self, tmp_path):
+        path = atomic_write_json(tmp_path / "state.json", {"v": 1})
+        atomic_write_json(path, {"v": 2})
+        assert load_verified_json(path) == {"v": 2}
+        assert not (tmp_path / ".state.json.tmp").exists()

@@ -149,16 +149,38 @@ class TestDriftMonitor:
         monitor.observe(100.0, 110.0)  # no signature: structure detector skips
         assert monitor.report().unseen_rate == 0.0
 
-    def test_observe_validation(self):
+    @pytest.mark.parametrize(
+        "predicted,observed",
+        [
+            (100.0, 0.0),
+            (100.0, -5.0),
+            (float("nan"), 100.0),
+            (100.0, float("inf")),
+            ("fast", 100.0),
+            (100.0, None),
+        ],
+    )
+    def test_bad_outcomes_degrade_to_rejected_counter(self, predicted, observed):
+        """observe() sits inside poller loops: a bad journal record must
+        never raise, only bump the typed ``rejected_outcomes`` counter
+        (the caller-facing ``record_outcome`` site still raises)."""
         monitor = self.make()
-        with pytest.raises(ValueError):
-            monitor.observe(100.0, 0.0)
-        with pytest.raises(ValueError):
-            monitor.observe(100.0, -5.0)
-        with pytest.raises(ValueError):
-            monitor.observe(float("nan"), 100.0)
-        with pytest.raises(ValueError):
-            monitor.observe(100.0, float("inf"))
+        monitor.observe(predicted, observed)
+        report = monitor.report()
+        assert report.rejected_outcomes == 1
+        assert report.observations == 0  # rejected samples feed no detector
+        assert report.ewma_rel_error == pytest.approx(0.3)  # EWMA untouched
+
+    def test_rejected_counter_accumulates_and_resets(self):
+        monitor = self.make()
+        for _ in range(3):
+            monitor.observe(100.0, float("nan"))
+        monitor.observe(100.0, 110.0)
+        report = monitor.report()
+        assert report.rejected_outcomes == 3
+        assert report.observations == 1
+        monitor.reset()
+        assert monitor.report().rejected_outcomes == 0
 
     def test_bad_baseline_rejected(self):
         for bad in (0.0, -1.0, float("nan"), float("inf")):
@@ -210,6 +232,39 @@ class TestDriftMonitor:
         assert isinstance(report, DriftReport)
         with pytest.raises(AttributeError):
             report.triggered = True
+
+    def test_state_dict_round_trip_is_exact(self):
+        """A monitor rebuilt from state_dict continues *identically* —
+        including through a JSON round trip (the snapshot is JSON on
+        disk), because Python floats survive JSON bitwise."""
+        import json
+
+        monitor = self.make(baseline=0.17)
+        rng = np.random.default_rng(7)
+        for i in range(200):
+            pred = float(rng.uniform(10, 1000))
+            obs = pred * float(rng.uniform(0.5, 2.0))
+            monitor.observe(pred, obs, signature=f"s{i % 17}")
+        monitor.observe(100.0, float("nan"))  # one rejected sample too
+        state = json.loads(json.dumps(monitor.state_dict()))
+        clone = DriftMonitor.from_state_dict(state)
+        assert clone.state_dict() == monitor.state_dict()
+        assert clone.report() == monitor.report()
+        # Continuations diverge from *nothing*: same suffix, same state.
+        for i in range(100):
+            pred = float(rng.uniform(10, 1000))
+            obs = pred * 3.0
+            monitor.observe(pred, obs, signature=f"n{i}")
+            clone.observe(pred, obs, signature=f"n{i}")
+        assert clone.state_dict() == monitor.state_dict()
+        assert clone.report() == monitor.report()
+
+    def test_load_state_dict_rejects_unknown_format(self):
+        monitor = self.make()
+        state = monitor.state_dict()
+        state["format"] = 99
+        with pytest.raises(ValueError, match="format"):
+            monitor.load_state_dict(state)
 
     def test_concurrent_observers_smoke(self):
         monitor = self.make(min_observations=1)

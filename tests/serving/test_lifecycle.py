@@ -183,8 +183,19 @@ class TestOutcomeRecording:
         assert len(log) == 8
         seqs = [r.seq for r in log.snapshot()]
         assert seqs == list(range(13, 21))
-        assert [r.seq for r in log.since(15)] == [16, 17, 18, 19, 20]
-        assert log.since(20) == []
+        records, dropped = log.since(15)
+        assert [r.seq for r in records] == [16, 17, 18, 19, 20]
+        assert dropped == 0
+        assert log.since(20) == ([], 0)
+        # Wrap-around: a consumer whose cursor fell behind the retention
+        # window gets the evicted gap explicitly — seqs 1..12 are gone,
+        # so since(5) returns retained 13..20 plus dropped 7 (seqs 6..12).
+        records, dropped = log.since(5)
+        assert [r.seq for r in records] == list(range(13, 21))
+        assert dropped == 7
+        records, dropped = log.since(0)
+        assert [r.seq for r in records] == list(range(13, 21))
+        assert dropped == 12
         assert service.stats().outcomes_recorded == 20
 
     def test_outcome_log_validation(self):

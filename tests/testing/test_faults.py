@@ -8,8 +8,11 @@ from repro.testing import (
     FaultySession,
     InjectedFault,
     SimulatedCrash,
+    failing_fsync,
+    flip_byte,
     kill_at_epoch,
     raise_on_calls,
+    torn_tail,
 )
 
 pytestmark = pytest.mark.chaos
@@ -116,3 +119,72 @@ class TestFaultySession:
         session = FaultySession(inner)
         assert session.model == "stub-model"
         assert session.predict(object()) > 0
+
+
+class TestDiskInjectors:
+    """torn_tail / flip_byte / failing_fsync: the on-disk damage and
+    sick-disk primitives behind the journal recovery drills (ISSUE 10)."""
+
+    def test_torn_tail_truncates_exactly(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        path.write_bytes(b"0123456789")
+        assert torn_tail(path, 4) == 6
+        assert path.read_bytes() == b"012345"
+
+    def test_torn_tail_clamps_at_empty(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        path.write_bytes(b"abc")
+        assert torn_tail(path, 100) == 0
+        assert path.read_bytes() == b""
+
+    def test_torn_tail_rejects_negative(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        path.write_bytes(b"abc")
+        with pytest.raises(ValueError):
+            torn_tail(path, -1)
+
+    def test_flip_byte_inverts_one_byte(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        path.write_bytes(bytes(range(8)))
+        assert flip_byte(path, 3) == 3
+        data = path.read_bytes()
+        assert data[3] == 3 ^ 0xFF
+        assert data[:3] == bytes(range(3)) and data[4:] == bytes(range(4, 8))
+
+    def test_flip_byte_negative_offset_counts_from_end(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        path.write_bytes(b"abcdef")
+        assert flip_byte(path, -1) == 5
+        assert path.read_bytes()[:5] == b"abcde"
+        assert path.read_bytes()[5] == ord("f") ^ 0xFF
+
+    def test_flip_byte_rejects_out_of_range(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        path.write_bytes(b"ab")
+        for bad in (2, -3):
+            with pytest.raises(ValueError):
+                flip_byte(path, bad)
+
+    def test_flip_twice_restores(self, tmp_path):
+        path = tmp_path / "seg.wal"
+        path.write_bytes(b"payload")
+        flip_byte(path, 2)
+        flip_byte(path, 2)
+        assert path.read_bytes() == b"payload"
+
+    def test_failing_fsync_every(self, tmp_path):
+        fsync = failing_fsync(every=2)
+        with open(tmp_path / "f", "wb") as handle:
+            fd = handle.fileno()
+            fsync(fd)  # call 1: passes through to os.fsync
+            with pytest.raises(OSError) as exc_info:
+                fsync(fd)  # call 2: injected
+            assert exc_info.value.errno == 5
+            fsync(fd)  # call 3: healthy again
+
+    def test_failing_fsync_exact_calls_and_custom_error(self, tmp_path):
+        fsync = failing_fsync(calls={1}, error=lambda: OSError(28, "no space"))
+        with open(tmp_path / "f", "wb") as handle:
+            with pytest.raises(OSError, match="no space"):
+                fsync(handle.fileno())
+            fsync(handle.fileno())  # only call 1 fails
